@@ -1,0 +1,46 @@
+"""Figure 3: patch-finding bar strips (Sec. 3.2).
+
+Regenerates the ⟨T_d, l⟩ sweep for Titan and C2075 and checks the
+paper's qualitative findings: no weak behaviour below the critical patch
+size, patches of the chip's size above it.
+"""
+
+from repro.chips import get_chip
+from repro.reporting.figures import render_bars
+from repro.tuning import critical_patch_size, scan_patches
+
+
+def _scan(chip_name, scale):
+    chip = get_chip(chip_name)
+    scan = scan_patches(chip, scale, seed=3)
+    return chip, scan
+
+
+def test_fig3_titan(benchmark, bench_scale):
+    chip, scan = benchmark.pedantic(
+        _scan, args=("Titan", bench_scale), rounds=1, iterations=1
+    )
+    print()
+    print(f"Figure 3a ({chip.name}):")
+    for test in ("MP", "LB"):
+        for d in (0, 32, 64):
+            print(render_bars(scan.row(test, d), label=f"{test} d={d}"))
+    size, _ = critical_patch_size(scan)
+    print(f"critical patch size: {size} (paper: 32)")
+    assert size == 32
+    # Paper: no weak behaviour for contiguous locations (d = 0).
+    assert sum(scan.row("MP", 0)) <= 1
+
+
+def test_fig3_c2075(benchmark, bench_scale):
+    chip, scan = benchmark.pedantic(
+        _scan, args=("C2075", bench_scale), rounds=1, iterations=1
+    )
+    print()
+    print(f"Figure 3b ({chip.name}):")
+    for test in ("MP", "LB"):
+        for d in (0, 64, 128):
+            print(render_bars(scan.row(test, d), label=f"{test} d={d}"))
+    size, _ = critical_patch_size(scan)
+    print(f"critical patch size: {size} (paper: 64)")
+    assert size == 64

@@ -1,0 +1,69 @@
+"""Figure 5: the cost of fences (Sec. 6).
+
+Measures native runtime (and, on sensor-equipped chips, energy) of the
+no/emp/cons fencing strategies and checks the paper's qualitative
+findings: fences never reduce cost, conservative fencing costs more than
+empirical fencing, and old (Fermi) chips pay the most.
+"""
+
+import statistics
+
+from repro.apps import get_application
+from repro.chips import get_chip
+from repro.costs import figure5_points, overhead_summary
+from repro.costs.measure import FencingStrategy
+from repro.reporting.tables import render_table
+
+APPS = ("cbe-dot", "cbe-ht", "sdk-red", "cub-scan", "tpo-tm")
+CHIPS = ("K20", "C2075")
+
+
+def _measure():
+    apps = [get_application(a) for a in APPS]
+    chips = [get_chip(c) for c in CHIPS]
+    return figure5_points(apps, chips, runs=6, seed=4)
+
+
+def test_fig5_cost(benchmark):
+    points = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = [
+        {
+            "chip": p.chip,
+            "app": p.app,
+            "strategy": p.strategy.value,
+            "runtime +%": round(p.runtime_overhead_pct, 1),
+            "energy +%": (
+                round(e, 1)
+                if (e := p.energy_overhead_pct) is not None
+                else "-"
+            ),
+        }
+        for p in points
+    ]
+    print()
+    print(render_table(rows, title="Figure 5: fence cost points"))
+    summary = overhead_summary(points)
+    print(render_table(
+        [{"strategy": k, **{m: round(v, 1) for m, v in s.items()}}
+         for k, s in summary.items()],
+        title="Overhead summary",
+    ))
+
+    # No points below the diagonal (fences never decrease cost).
+    for p in points:
+        assert p.fenced_runtime_ms >= p.baseline_runtime_ms * 0.97
+
+    # Conservative fences cost more than empirical fences.
+    emp = [p for p in points if p.strategy is FencingStrategy.EMPIRICAL]
+    cons = [p for p in points
+            if p.strategy is FencingStrategy.CONSERVATIVE]
+    med = statistics.median
+    assert med([p.runtime_overhead_pct for p in cons]) > \
+        med([p.runtime_overhead_pct for p in emp])
+
+    # The Fermi chip pays more than the Kepler chip for cons fences.
+    fermi = med([p.runtime_overhead_pct for p in cons
+                 if p.chip == "C2075"])
+    kepler = med([p.runtime_overhead_pct for p in cons
+                  if p.chip == "K20"])
+    assert fermi > kepler

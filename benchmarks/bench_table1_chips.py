@@ -1,0 +1,12 @@
+"""Table 1: the seven studied GPUs (static registry)."""
+
+from repro.reporting.experiments import table1
+
+
+def test_table1(benchmark):
+    text = benchmark(table1)
+    print()
+    print(text)
+    for chip in ("GTX 980", "Quadro K5200", "GTX Titan", "Tesla K20",
+                 "GTX 770", "Tesla C2075", "Tesla C2050"):
+        assert chip in text

@@ -1,0 +1,24 @@
+"""Table 4: the application case studies, plus a correctness smoke run
+of every application on the SC reference chip."""
+
+from repro.apps import all_applications
+from repro.apps.base import run_application
+from repro.chips import SC_REFERENCE
+from repro.reporting.experiments import table4
+
+
+def _smoke_all():
+    results = {}
+    for app in all_applications():
+        results[app.name] = run_application(app, SC_REFERENCE, seed=1).ok
+    return results
+
+
+def test_table4(benchmark):
+    results = benchmark.pedantic(_smoke_all, rounds=1, iterations=1)
+    print()
+    print(table4())
+    print()
+    print("SC smoke run:", results)
+    assert all(results.values())
+    assert len(results) == 10

@@ -1,0 +1,58 @@
+"""Table 5: testing-environment effectiveness (Sec. 4).
+
+Runs a reduced campaign — one Kepler chip, all ten applications, four of
+the eight environments — and checks the paper's headline findings:
+
+* sys-str+ observes errors in more applications than any
+  straightforward environment;
+* sdk-red and cub-scan (whose fences are sufficient) never err;
+* ls-bh errs even with its fences.
+
+The full 7 x 8 grid is available via
+``gpu-wmm experiment table5 --scale default`` (slow).
+"""
+
+from repro.chips import get_chip
+from repro.reporting.tables import render_table
+from repro.testing import run_campaign, table5_summary
+from repro.testing.summary import most_capable_environment
+
+ENVS = ("no-str-", "sys-str+", "rand-str-", "cache-str+")
+
+
+def _campaign(scale):
+    chip = get_chip("K20")
+    return run_campaign([chip], environments=list(ENVS), scale=scale,
+                        seed=4)
+
+
+def test_table5_k20(benchmark, bench_scale):
+    cells = benchmark.pedantic(
+        _campaign, args=(bench_scale,), rounds=1, iterations=1
+    )
+    table = table5_summary(cells)
+    rows = [
+        {
+            "chip": "K20",
+            **{
+                env: str(table[("K20", env)])
+                for env in ENVS
+            },
+        }
+    ]
+    print()
+    print(render_table(rows, title="Table 5 (K20 row, 4 environments)"))
+    by_app = {
+        (c.app, c.environment): c for c in cells
+    }
+    sys_cell = table[("K20", "sys-str+")]
+    print("apps with observed errors under sys-str+:",
+          sys_cell.observed_apps)
+
+    assert sys_cell.observed >= 4
+    assert most_capable_environment(table, "K20") == "sys-str+"
+    for env in ("no-str-", "rand-str-", "cache-str+"):
+        assert table[("K20", env)].observed <= sys_cell.observed
+    # Fence-sufficient applications never err (paper Sec. 4.3).
+    for app in ("sdk-red", "cub-scan"):
+        assert by_app[(app, "sys-str+")].errors == 0

@@ -1,0 +1,45 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index) at a reduced scale and times the
+underlying computation with pytest-benchmark.  The regenerated artefact
+is printed, so running with ``-s`` shows the paper-shaped output::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.scale import SMOKE
+
+
+@pytest.fixture
+def bench_scale():
+    """Scale used by the benchmark harness (kept small; the CLI can
+    regenerate any artefact at ``default`` or ``paper`` scale)."""
+    return SMOKE
+
+
+@pytest.fixture
+def tiny_scale():
+    """Extra-small grids for the heaviest pipelines."""
+    return dataclasses.replace(
+        SMOKE,
+        max_distance=192,
+        distance_step=32,
+        max_location=160,
+        location_step=16,
+        executions=40,
+        seq_distance_step=64,
+        seq_executions=48,
+        max_sequence_length=4,
+        spread_distance_step=32,
+        spread_executions=96,
+        max_spread=12,
+        campaign_runs=12,
+        stability_runs=60,
+    )

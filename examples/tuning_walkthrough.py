@@ -1,0 +1,83 @@
+"""Tuning walkthrough: rediscover a chip's Table 2 row (paper Sec. 3).
+
+Treats the Tesla C2075 as an unknown chip and runs the three tuning
+stages the paper describes:
+
+1. patch finding     — the critical patch size (Sec. 3.2, Fig. 3);
+2. sequence scoring  — the most effective access sequence (Sec. 3.3);
+3. spread finding    — how many regions to stress at once (Sec. 3.4).
+
+The discovered parameters match the library's shipped Table 2 row.
+
+Run with (takes a minute or two)::
+
+    python examples/tuning_walkthrough.py
+"""
+
+import dataclasses
+
+from repro import SMOKE, get_chip, shipped_params
+from repro.reporting.figures import render_bars
+from repro.stress.sequences import format_sequence
+from repro.tuning import (
+    critical_patch_size,
+    scan_patches,
+    score_sequences,
+    score_spreads,
+    select_sequence,
+    select_spread,
+)
+
+CHIP = "C2075"
+SCALE = dataclasses.replace(
+    SMOKE,
+    max_sequence_length=3,   # C2075's best sequence is short (ld st)
+    seq_distance_step=64,
+    seq_executions=32,
+    max_distance=192,
+    max_spread=8,
+    spread_executions=40,
+)
+
+
+def main() -> None:
+    chip = get_chip(CHIP)
+    print(f"Tuning {chip.name} ({chip.architecture}) from scratch...")
+
+    print("\n[1/3] patch finding")
+    scan = scan_patches(chip, SCALE, seed=3)
+    patch, per_test = critical_patch_size(scan)
+    for test in ("MP", "LB"):
+        for d in (0, 64, 128):
+            print(render_bars(scan.row(test, d), label=f"{test} d={d}"))
+    print(f"critical patch size: {patch} words (per test: {per_test})")
+
+    print("\n[2/3] access-sequence scoring "
+          f"({2 ** (SCALE.max_sequence_length + 1) - 2} sequences)")
+    scores = score_sequences(chip, patch, SCALE, seed=3)
+    sequence = select_sequence(scores)
+    for test in scores.tests:
+        top = scores.ranking(test)[:3]
+        print(f"  {test} top-3: "
+              + ", ".join(f"{format_sequence(s)}={v}" for s, v in top))
+    print(f"selected sequence: {format_sequence(sequence)}")
+
+    print("\n[3/3] spread finding")
+    spread_scores = score_spreads(chip, patch, sequence, SCALE, seed=3)
+    spread = select_spread(spread_scores)
+    for test in spread_scores.tests:
+        series = spread_scores.series(test)
+        print(f"  {test}: "
+              + " ".join(f"m={m}:{s}" for m, s in series))
+    print(f"selected spread: {spread}")
+
+    truth = shipped_params(CHIP)
+    print("\nDiscovered vs shipped (paper Table 2):")
+    print(f"  patch size: {patch} vs {truth.patch_size}")
+    print(f"  sequence:   {format_sequence(sequence)} "
+          f"vs {truth.sequence_notation}")
+    print(f"  spread:     {spread} vs {truth.spread}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that editable
+installs work in offline environments whose setuptools predates PEP 660
+(no `wheel` package available).
+"""
+
+from setuptools import setup
+
+setup()

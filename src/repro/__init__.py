@@ -1,0 +1,98 @@
+"""repro — reproduction of "Exposing Errors Related to Weak Memory in
+GPU Applications" (Tyler Sorensen and Alastair F. Donaldson, PLDI 2016).
+
+The library rebuilds the paper's entire system on a simulated GPU with a
+parameterised weak memory model:
+
+* :mod:`repro.chips` — the seven studied GPUs as hidden-silicon profiles;
+* :mod:`repro.gpu` — the SIMT execution engine and weak memory subsystem;
+* :mod:`repro.litmus` — the MP/LB/SB litmus tests and their fast runner;
+* :mod:`repro.stress` — stressing strategies and testing environments;
+* :mod:`repro.tuning` — the per-chip tuning pipeline (Sec. 3);
+* :mod:`repro.apps` — the ten application case studies (Sec. 4, Tab. 4);
+* :mod:`repro.testing` — the campaign runner and Table 5 summary;
+* :mod:`repro.hardening` — empirical fence insertion (Sec. 5, Alg. 1);
+* :mod:`repro.costs` — the fence runtime/energy cost study (Sec. 6);
+* :mod:`repro.reporting` — regeneration of every paper table and figure.
+
+Quickstart (the paper's cbe-dot story):
+
+>>> from repro import get_chip, get_application, run_application
+>>> from repro import TunedStress, shipped_params
+>>> chip = get_chip("K20")
+>>> app = get_application("cbe-dot")
+>>> run_application(app, chip, seed=1).ok           # native: no errors
+True
+>>> stress = TunedStress(shipped_params("K20"))
+>>> runs = [run_application(app, chip, stress_spec=stress,
+...                         randomise=True, seed=i) for i in range(30)]
+>>> sum(not r.ok for r in runs) > 0                 # stressed: errors
+True
+"""
+
+from .apps.base import AppRun, Application, run_application
+from .apps.registry import all_applications, get_application
+from .chips.registry import SC_REFERENCE, all_chips, get_chip
+from .errors import ReproError
+from .gpu.engine import Engine, ExecutionResult, Outcome
+from .gpu.memory import MemorySystem
+from .gpu.pressure import StressField
+from .hardening.insertion import empirical_fence_insertion
+from .litmus.runner import run_litmus
+from .litmus.tests import LB, MP, SB, get_test
+from .scale import DEFAULT, PAPER, SMOKE, Scale, get_scale
+from .stress.config import StressConfig
+from .stress.environment import TestingEnvironment, standard_environments
+from .stress.strategies import (
+    CacheStress,
+    FixedLocationStress,
+    NoStress,
+    RandomStress,
+    TunedStress,
+)
+from .testing.campaign import run_campaign
+from .testing.summary import table5_summary
+from .tuning.pipeline import shipped_params, tune_chip
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppRun",
+    "Application",
+    "run_application",
+    "all_applications",
+    "get_application",
+    "SC_REFERENCE",
+    "all_chips",
+    "get_chip",
+    "ReproError",
+    "Engine",
+    "ExecutionResult",
+    "Outcome",
+    "MemorySystem",
+    "StressField",
+    "empirical_fence_insertion",
+    "run_litmus",
+    "MP",
+    "LB",
+    "SB",
+    "get_test",
+    "Scale",
+    "SMOKE",
+    "DEFAULT",
+    "PAPER",
+    "get_scale",
+    "StressConfig",
+    "TestingEnvironment",
+    "standard_environments",
+    "NoStress",
+    "TunedStress",
+    "RandomStress",
+    "CacheStress",
+    "FixedLocationStress",
+    "run_campaign",
+    "table5_summary",
+    "shipped_params",
+    "tune_chip",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""The ten application case studies (paper Sec. 4.1, Table 4).
+
+Seven distinct applications, three of which ship with fence instructions
+(`sdk-red`, `cub-scan`, `ls-bh`); removing those fences yields the
+``-nf`` variants, for ten case studies in total.  Each application is a
+set of kernels over the simulated GPU plus a functional post-condition
+and an enumeration of fence *sites* (one per global memory access) used
+by empirical fence insertion.
+"""
+
+from .base import Application, AppRun, run_application
+from .registry import all_applications, get_application, table4_rows
+
+__all__ = [
+    "Application",
+    "AppRun",
+    "run_application",
+    "all_applications",
+    "get_application",
+    "table4_rows",
+]

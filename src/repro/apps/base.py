@@ -1,0 +1,158 @@
+"""Application abstraction and the shared execution driver.
+
+An :class:`Application` packages:
+
+* ``setup`` — allocate buffers, initialise memory, and return the kernel
+  launches plus a post-condition checker;
+* ``sites`` — every fence site in the code (one per global memory
+  access), the starting set for empirical fence insertion;
+* ``base_fences`` — the fences present in the original source (empty for
+  fence-free applications and the ``-nf`` variants).
+
+:func:`run_application` executes an application on a chip under a
+testing environment: it appends a stressing scratchpad after the
+application's buffers, compiles the stress into a pressure field, adds
+stressing blocks to the scheduler, runs all kernels, and evaluates the
+post-condition.  A timeout counts as an erroneous run (the paper's 30 s
+timeout catches weak behaviours that break termination conditions).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..chips.profile import HardwareProfile
+from ..gpu.addresses import AddressSpace
+from ..gpu.engine import Engine, ExecutionResult
+from ..gpu.kernel import Kernel, LaunchConfig
+from ..gpu.memory import MemorySystem
+from ..rng import make_rng
+from ..stress.strategies import NoStress, with_threads_range
+
+#: Default per-kernel tick budget for applications (paper: 30 s timeout,
+#: ~4x a native run).
+APP_MAX_TICKS = 120_000
+
+Checker = Callable[[MemorySystem], bool]
+Launch = tuple[Kernel, LaunchConfig]
+
+
+@dataclass(frozen=True)
+class AppRun:
+    """Outcome of one application execution."""
+
+    ok: bool
+    timed_out: bool
+    result: ExecutionResult
+
+    @property
+    def erroneous(self) -> bool:
+        """Paper semantics: post-condition failure or timeout."""
+        return not self.ok
+
+
+class Application(abc.ABC):
+    """One case study of Table 4 (see module docstring)."""
+
+    #: Short name used throughout the paper (e.g. ``cbe-dot``).
+    name: str = ""
+    #: One-line description (Table 4 column 2).
+    description: str = ""
+    #: Communication idiom (Table 4 column 3).
+    communication: str = ""
+    #: Post-condition (Table 4 column 4).
+    postcondition: str = ""
+    #: Fence sites present in the original application source.
+    base_fences: frozenset[str] = frozenset()
+
+    @abc.abstractmethod
+    def sites(self) -> tuple[str, ...]:
+        """All fence sites, in program order (paper Sec. 5: fences are
+        sorted by code location for binary reduction)."""
+
+    @abc.abstractmethod
+    def setup(
+        self, space: AddressSpace, mem: MemorySystem
+    ) -> tuple[list[Launch], Checker]:
+        """Allocate and initialise buffers; return launches + checker."""
+
+    # -- metadata used by tests and the experiment harness -------------
+    def required_sites(self) -> frozenset[str]:
+        """Ground-truth minimal fence set that suppresses the bug.
+
+        This is *not* consulted by empirical fence insertion (which only
+        runs tests); it exists so the test suite can validate what the
+        insertion converges to.
+        """
+        return frozenset()
+
+    def table4_row(self) -> dict[str, str]:
+        return {
+            "short name": self.name,
+            "description": self.description,
+            "communication": self.communication,
+            "post-condition": self.postcondition,
+        }
+
+
+def run_application(
+    app: Application,
+    chip: HardwareProfile,
+    stress_spec=None,
+    randomise: bool = False,
+    seed: int = 0,
+    fence_sites: frozenset[str] | None = None,
+    max_ticks: int = APP_MAX_TICKS,
+) -> AppRun:
+    """Execute ``app`` once on ``chip`` under a testing environment.
+
+    ``fence_sites`` of ``None`` means "as shipped" (the application's
+    ``base_fences``); pass an explicit set when experimenting with fence
+    placements (Sec. 5 and Sec. 6).
+    """
+    if stress_spec is None:
+        stress_spec = NoStress()
+    if fence_sites is None:
+        fence_sites = app.base_fences
+    rng = make_rng(seed, "app", app.name, chip.short_name)
+
+    # Buffers are allocated with cudaMalloc's 256-byte (64-word)
+    # alignment, so distinct buffers occupy distinct patches.
+    space = AddressSpace(default_align=64)
+    # The memory system is created before setup so applications can
+    # host-initialise through it; the stress field is attached after the
+    # scratchpad is allocated (it only affects kernel execution).
+    mem = MemorySystem(
+        chip,
+        rng=rng,
+        weak_scale=chip.app_sensitivity(app.name),
+    )
+    launches, checker = app.setup(space, mem)
+    scratch = space.alloc(
+        "stress-scratchpad", 4096, align=chip.patch_size * chip.n_channels
+    )
+
+    app_warps = sum(
+        cfg.grid_dim * cfg.warps_per_block for _k, cfg in launches
+    )
+    app_threads = max(cfg.n_threads for _k, cfg in launches)
+    # Paper Sec. 4.2: stressing blocks are 15%-50% of the application's
+    # blocks, so thread counts scale with the application, not the chip.
+    spec = with_threads_range(
+        stress_spec, (max(8, app_threads // 6), max(16, app_threads // 2))
+    )
+    mem.set_stress(spec.build(chip, scratch.base, scratch.size, rng))
+
+    engine = Engine(
+        chip,
+        mem,
+        rng,
+        max_ticks=max_ticks,
+        n_stress_units=spec.stress_units(app_warps, rng),
+        randomise=randomise,
+    )
+    result = engine.run_all(launches, fence_sites=frozenset(fence_sites))
+    ok = (not result.timed_out) and bool(checker(mem))
+    return AppRun(ok=ok, timed_out=result.timed_out, result=result)

@@ -1,0 +1,86 @@
+"""Registry of the ten case studies (paper Table 4)."""
+
+from __future__ import annotations
+
+from ..errors import UnknownApplicationError
+from .base import Application
+from .cbe_dot import CbeDot
+from .cbe_ht import CbeHt
+from .ct_octree import CtOctree
+from .cub_scan import CubScan
+from .ls_bh import LsBh
+from .sdk_red import SdkRed
+from .tpo_tm import TpoTm
+
+#: Table 4 order: seven distinct applications, with the -nf variants
+#: next to their originals, as in the paper's campaign tables.
+APP_ORDER = (
+    "cbe-ht",
+    "cbe-dot",
+    "ct-octree",
+    "tpo-tm",
+    "sdk-red",
+    "sdk-red-nf",
+    "cub-scan",
+    "cub-scan-nf",
+    "ls-bh",
+    "ls-bh-nf",
+)
+
+#: Applications that contain no fences (the Sec. 5 hardening study runs
+#: on exactly these, omitting sdk-red, cub-scan and ls-bh).
+FENCE_FREE_APPS = (
+    "cbe-ht",
+    "cbe-dot",
+    "ct-octree",
+    "tpo-tm",
+    "sdk-red-nf",
+    "cub-scan-nf",
+    "ls-bh-nf",
+)
+
+
+def _build() -> dict[str, Application]:
+    apps = [
+        CbeHt(),
+        CbeDot(),
+        CtOctree(),
+        TpoTm(),
+        SdkRed(with_fences=True),
+        SdkRed(with_fences=False),
+        CubScan(with_fences=True),
+        CubScan(with_fences=False),
+        LsBh(with_fences=True),
+        LsBh(with_fences=False),
+    ]
+    return {app.name: app for app in apps}
+
+
+_APPS = _build()
+
+
+def get_application(name: str) -> Application:
+    """Look up a case study by its paper short name (e.g. ``cbe-dot``)."""
+    try:
+        return _APPS[name]
+    except KeyError:
+        raise UnknownApplicationError(name, sorted(_APPS)) from None
+
+
+def all_applications() -> list[Application]:
+    """The ten case studies in Table 4 order."""
+    return [_APPS[name] for name in APP_ORDER]
+
+
+def fence_free_applications() -> list[Application]:
+    """The seven fence-free case studies used by the hardening study."""
+    return [_APPS[name] for name in FENCE_FREE_APPS]
+
+
+def table4_rows() -> list[dict[str, str]]:
+    """Rows of the paper's Table 4 (the seven distinct applications)."""
+    return [
+        _APPS[name].table4_row()
+        for name in APP_ORDER
+        if not name.endswith("-nf")
+    ]

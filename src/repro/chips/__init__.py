@@ -1,0 +1,32 @@
+"""Chip models: the seven Nvidia GPUs of the paper's Table 1.
+
+Each chip is described by a :class:`~repro.chips.profile.HardwareProfile`,
+a *hidden silicon* model of its weak-memory personality (critical patch
+size, channel sensitivities, access-sequence response, timing and power).
+
+The rest of the library treats chips as black boxes: the tuning pipeline,
+test campaigns and fence insertion only ever *run programs* on a simulated
+chip and observe the outcomes, exactly as the paper's method does against
+physical hardware.
+"""
+
+from .profile import HardwareProfile
+from .registry import (
+    CHIP_ORDER,
+    SC_REFERENCE,
+    all_chips,
+    get_chip,
+    table1_rows,
+)
+from .power import PowerModel, NvmlSession
+
+__all__ = [
+    "HardwareProfile",
+    "CHIP_ORDER",
+    "SC_REFERENCE",
+    "all_chips",
+    "get_chip",
+    "table1_rows",
+    "PowerModel",
+    "NvmlSession",
+]

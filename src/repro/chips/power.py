@@ -1,0 +1,81 @@
+"""Power and energy model (stand-in for NVML, paper Sec. 6).
+
+The paper estimates energy by sampling GPU power through NVML during
+kernel execution and multiplying the average power by the kernel runtime.
+Only four of the seven chips expose power sensors (K5200, Titan, K20 and
+C2075); the same restriction is modelled here via
+:class:`NvmlSession`, which raises
+:class:`~repro.errors.PowerQueryUnsupportedError` on the other chips.
+
+The model itself is simple and deliberately so — the paper emphasises its
+own numbers are estimates: instantaneous power is an idle floor plus an
+activity-proportional term, where fence-stall cycles count as low-activity
+time (the memory pipeline is draining, the cores are waiting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PowerQueryUnsupportedError
+from .profile import HardwareProfile
+
+#: Fraction of full activity attributed to a fence-stall cycle.
+FENCE_STALL_ACTIVITY = 0.82
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One simulated NVML power reading, in watts."""
+
+    watts: float
+
+
+class PowerModel:
+    """Analytic power/energy model for a chip."""
+
+    def __init__(self, chip: HardwareProfile):
+        self.chip = chip
+
+    def average_power(self, busy_ticks: int, stall_ticks: int) -> float:
+        """Average power in watts over a kernel execution.
+
+        ``busy_ticks`` are cycles doing real work; ``stall_ticks`` are
+        cycles spent waiting on fence drains.
+        """
+        total = busy_ticks + stall_ticks
+        if total <= 0:
+            return self.chip.idle_watts
+        activity = (
+            busy_ticks + FENCE_STALL_ACTIVITY * stall_ticks
+        ) / total
+        span = self.chip.active_watts - self.chip.idle_watts
+        return self.chip.idle_watts + activity * span
+
+    def energy_joules(self, busy_ticks: int, stall_ticks: int) -> float:
+        """Estimated energy: average power times modelled runtime.
+
+        Matches the paper's methodology (average NVML reading multiplied
+        by the kernel runtime).
+        """
+        runtime_ms = self.chip.ticks_to_ms(busy_ticks + stall_ticks)
+        return self.average_power(busy_ticks, stall_ticks) * runtime_ms / 1e3
+
+
+class NvmlSession:
+    """NVML-like power query session.
+
+    Only chips with power sensors may be queried; this mirrors the
+    paper's Sec. 6 restriction to K5200, Titan, K20 and C2075.
+    """
+
+    def __init__(self, chip: HardwareProfile):
+        self.chip = chip
+        self._model = PowerModel(chip)
+
+    def query_power(self, busy_ticks: int, stall_ticks: int) -> PowerSample:
+        """Sample average power for an execution; raises on unsupported
+        chips."""
+        if not self.chip.supports_power:
+            raise PowerQueryUnsupportedError(self.chip.short_name)
+        return PowerSample(self._model.average_power(busy_ticks, stall_ticks))

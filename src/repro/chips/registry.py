@@ -1,0 +1,340 @@
+"""Registry of the seven GPUs studied in the paper (Table 1).
+
+Also provides ``sc-ref``, a sequentially consistent reference chip with
+every weak-memory knob zeroed; it is used by the test suite to validate
+the *logical* correctness of kernels and applications independently of
+weak-memory effects.
+"""
+
+from __future__ import annotations
+
+from ..errors import UnknownChipError
+from .profile import HardwareProfile
+
+# Turbulence multipliers indexed by the number of congested channels.
+# Index 0 = no congestion (native leak only); the peak at exactly two hot
+# channels is what makes a spread of 2 optimal on every chip (Tab. 2).
+_TURBULENCE = (0.0, 0.55, 1.0, 0.55, 0.38, 0.28, 0.20, 0.15, 0.12)
+
+_CHIPS: dict[str, HardwareProfile] = {}
+
+
+def _register(profile: HardwareProfile) -> HardwareProfile:
+    _CHIPS[profile.short_name] = profile
+    return _CHIPS[profile.short_name]
+
+
+GTX_980 = _register(
+    HardwareProfile(
+        name="GTX 980",
+        short_name="980",
+        architecture="Maxwell",
+        released=2014,
+        patch_size=64,
+        n_channels=8,
+        n_sms=16,
+        max_resident_threads=2048 * 16,
+        l2_words=512 * 1024,
+        store_buffer_capacity=6,
+        seed=980_001,
+        reorder_base=1.0e-4,
+        store_swap_leak=3.0e-3,
+        store_store_min_distance=256,
+        load_delay_base=3.0e-4,
+        reorder_gain=0.125,
+        load_delay_gain=0.28,
+        latency_gain=5.0,
+        cross_channel_weight=0.4,
+        pressure_threshold=0.25,
+        turbulence_factors=_TURBULENCE,
+        best_sequence=("ld", "ld", "ld", "ld", "st"),
+        sequence_affinity=0.5,
+        sensitivity_floor=0.35,
+        app_bias={"sdk-red-nf": 0.04, "cub-scan-nf": 0.35, "tpo-tm": 0.5},
+        clock_ghz=1.126,
+        fence_stall_cycles=8,
+        idle_watts=37.0,
+        active_watts=165.0,
+        supports_power=False,
+    )
+)
+
+QUADRO_K5200 = _register(
+    HardwareProfile(
+        name="Quadro K5200",
+        short_name="K5200",
+        architecture="Kepler",
+        released=2014,
+        patch_size=32,
+        n_channels=8,
+        n_sms=12,
+        max_resident_threads=2048 * 12,
+        l2_words=384 * 1024,
+        store_buffer_capacity=6,
+        seed=5200_001,
+        reorder_base=9.0e-4,
+        store_swap_leak=0.0,
+        store_store_min_distance=32,
+        load_delay_base=4.0e-4,
+        reorder_gain=0.15,
+        load_delay_gain=0.33,
+        latency_gain=6.0,
+        cross_channel_weight=0.4,
+        pressure_threshold=0.25,
+        turbulence_factors=_TURBULENCE,
+        best_sequence=("ld", "ld", "ld", "st", "ld"),
+        sequence_affinity=0.5,
+        sensitivity_floor=0.35,
+        app_bias={"cub-scan-nf": 1.4},
+        clock_ghz=0.771,
+        fence_stall_cycles=12,
+        idle_watts=42.0,
+        active_watts=150.0,
+        supports_power=True,
+    )
+)
+
+GTX_TITAN = _register(
+    HardwareProfile(
+        name="GTX Titan",
+        short_name="Titan",
+        architecture="Kepler",
+        released=2013,
+        patch_size=32,
+        n_channels=8,
+        n_sms=14,
+        max_resident_threads=2048 * 14,
+        l2_words=384 * 1024,
+        store_buffer_capacity=6,
+        seed=7100_001,
+        reorder_base=2.0e-4,
+        store_swap_leak=0.0,
+        store_store_min_distance=32,
+        load_delay_base=5.0e-4,
+        reorder_gain=0.185,
+        load_delay_gain=0.4,
+        latency_gain=6.5,
+        cross_channel_weight=0.4,
+        pressure_threshold=0.25,
+        turbulence_factors=_TURBULENCE,
+        best_sequence=("ld", "st", "st", "ld"),
+        sequence_affinity=0.5,
+        sensitivity_floor=0.30,
+        app_bias={"sdk-red-nf": 1.6, "ls-bh": 1.3, "ls-bh-nf": 1.3,
+                  "cub-scan-nf": 1.6},
+        clock_ghz=0.837,
+        fence_stall_cycles=12,
+        idle_watts=45.0,
+        active_watts=190.0,
+        supports_power=True,
+    )
+)
+
+TESLA_K20 = _register(
+    HardwareProfile(
+        name="Tesla K20",
+        short_name="K20",
+        architecture="Kepler",
+        released=2013,
+        patch_size=32,
+        n_channels=8,
+        n_sms=13,
+        max_resident_threads=2048 * 13,
+        l2_words=320 * 1024,
+        store_buffer_capacity=6,
+        seed=2000_001,
+        reorder_base=1.5e-4,
+        store_swap_leak=0.0,
+        store_store_min_distance=32,
+        load_delay_base=4.0e-4,
+        reorder_gain=0.16,
+        load_delay_gain=0.35,
+        latency_gain=6.0,
+        cross_channel_weight=0.4,
+        pressure_threshold=0.25,
+        turbulence_factors=_TURBULENCE,
+        best_sequence=("ld", "st", "st", "ld"),
+        sequence_affinity=0.5,
+        sensitivity_floor=0.30,
+        app_bias={"ls-bh-nf": 1.2},
+        clock_ghz=0.706,
+        fence_stall_cycles=14,
+        idle_watts=44.0,
+        active_watts=170.0,
+        supports_power=True,
+    )
+)
+
+GTX_770 = _register(
+    HardwareProfile(
+        name="GTX 770",
+        short_name="770",
+        architecture="Kepler",
+        released=2013,
+        patch_size=32,
+        n_channels=8,
+        n_sms=8,
+        max_resident_threads=2048 * 8,
+        l2_words=128 * 1024,
+        store_buffer_capacity=5,
+        seed=770_001,
+        reorder_base=1.3e-3,
+        store_swap_leak=0.0,
+        store_store_min_distance=32,
+        load_delay_base=9.0e-4,
+        reorder_gain=0.13,
+        load_delay_gain=0.3,
+        latency_gain=5.5,
+        cross_channel_weight=0.4,
+        pressure_threshold=0.25,
+        turbulence_factors=_TURBULENCE,
+        best_sequence=("st", "st", "ld", "ld"),
+        sequence_affinity=0.5,
+        sensitivity_floor=0.35,
+        app_bias={"cbe-ht": 1.8, "sdk-red-nf": 0.12},
+        clock_ghz=1.046,
+        fence_stall_cycles=20,
+        idle_watts=35.0,
+        active_watts=185.0,
+        supports_power=False,
+    )
+)
+
+TESLA_C2075 = _register(
+    HardwareProfile(
+        name="Tesla C2075",
+        short_name="C2075",
+        architecture="Fermi",
+        released=2011,
+        patch_size=64,
+        n_channels=6,
+        n_sms=14,
+        max_resident_threads=1536 * 14,
+        l2_words=192 * 1024,
+        store_buffer_capacity=4,
+        seed=2075_001,
+        reorder_base=3.0e-4,
+        store_swap_leak=0.0,
+        store_store_min_distance=64,
+        load_delay_base=6.0e-4,
+        reorder_gain=0.14,
+        load_delay_gain=0.33,
+        latency_gain=7.0,
+        cross_channel_weight=0.4,
+        pressure_threshold=0.25,
+        turbulence_factors=_TURBULENCE,
+        best_sequence=("ld", "st"),
+        sequence_affinity=0.5,
+        sensitivity_floor=0.30,
+        app_bias={"ls-bh": 1.5, "cbe-ht": 1.3},
+        clock_ghz=0.575,
+        fence_stall_cycles=40,
+        idle_watts=78.0,
+        active_watts=215.0,
+        supports_power=True,
+    )
+)
+
+TESLA_C2050 = _register(
+    HardwareProfile(
+        name="Tesla C2050",
+        short_name="C2050",
+        architecture="Fermi",
+        released=2010,
+        patch_size=64,
+        n_channels=6,
+        n_sms=14,
+        max_resident_threads=1536 * 14,
+        l2_words=192 * 1024,
+        store_buffer_capacity=4,
+        seed=2050_001,
+        reorder_base=2.5e-4,
+        store_swap_leak=0.0,
+        store_store_min_distance=64,
+        load_delay_base=5.0e-4,
+        reorder_gain=0.13,
+        load_delay_gain=0.31,
+        latency_gain=7.0,
+        cross_channel_weight=0.4,
+        pressure_threshold=0.25,
+        turbulence_factors=_TURBULENCE,
+        best_sequence=("ld", "st"),
+        sequence_affinity=0.5,
+        sensitivity_floor=0.30,
+        app_bias={"cbe-ht": 1.3},
+        clock_ghz=0.575,
+        fence_stall_cycles=40,
+        idle_watts=76.0,
+        active_watts=210.0,
+        supports_power=False,
+    )
+)
+
+#: Sequentially consistent reference chip: every weak knob is zero, so any
+#: post-condition failure on it indicates a logic bug, not a memory bug.
+SC_REFERENCE = _register(
+    HardwareProfile(
+        name="SC reference",
+        short_name="sc-ref",
+        architecture="Reference",
+        released=0,
+        patch_size=32,
+        n_channels=8,
+        n_sms=8,
+        max_resident_threads=2048 * 8,
+        l2_words=128 * 1024,
+        store_buffer_capacity=1,
+        seed=1,
+        reorder_base=0.0,
+        store_swap_leak=0.0,
+        store_store_min_distance=32,
+        load_delay_base=0.0,
+        reorder_gain=0.0,
+        load_delay_gain=0.0,
+        latency_gain=0.0,
+        cross_channel_weight=0.0,
+        pressure_threshold=0.25,
+        turbulence_factors=(0.0,) * 9,
+        best_sequence=("ld", "st"),
+        sequence_affinity=0.0,
+        sensitivity_floor=1.1,
+        clock_ghz=1.0,
+        fence_stall_cycles=1,
+        idle_watts=30.0,
+        active_watts=100.0,
+        supports_power=False,
+    )
+)
+
+#: Chip order used throughout the paper's tables (newest architecture
+#: first, then by release date).
+CHIP_ORDER = ("980", "K5200", "Titan", "K20", "770", "C2075", "C2050")
+
+
+def get_chip(short_name: str) -> HardwareProfile:
+    """Look up a chip by its short name (e.g. ``"K20"``)."""
+    try:
+        return _CHIPS[short_name]
+    except KeyError:
+        raise UnknownChipError(short_name, sorted(_CHIPS)) from None
+
+
+def all_chips(include_reference: bool = False) -> list[HardwareProfile]:
+    """The studied chips in Table 1 order (optionally plus ``sc-ref``)."""
+    chips = [_CHIPS[name] for name in CHIP_ORDER]
+    if include_reference:
+        chips.append(SC_REFERENCE)
+    return chips
+
+
+def table1_rows() -> list[dict[str, object]]:
+    """Rows of the paper's Table 1."""
+    return [
+        {
+            "chip": chip.name,
+            "architecture": chip.architecture,
+            "short name": chip.short_name,
+            "released": chip.released,
+        }
+        for chip in all_chips()
+    ]

@@ -1,0 +1,195 @@
+"""Command-line interface: ``gpu-wmm`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``experiment <id>`` — regenerate a paper table/figure
+  (``table1``, ``fig3``, ``table2``, ``table3``, ``fig4``, ``table4``,
+  ``table5``, ``table6``, ``fig5``);
+* ``litmus`` — run one litmus test under a stressing configuration;
+* ``test-app`` — run one application under a testing environment;
+* ``harden`` — empirical fence insertion for one application/chip;
+* ``chips`` / ``apps`` — list the registries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .apps.base import run_application
+from .apps.registry import all_applications, get_application
+from .chips.registry import all_chips, get_chip
+from .hardening.insertion import empirical_fence_insertion
+from .litmus.runner import run_litmus
+from .litmus.tests import get_test
+from .reporting.experiments import EXPERIMENTS, run_experiment
+from .rng import derive_seed
+from .scale import get_scale
+from .stress.environment import standard_environments
+from .stress.sequences import parse_sequence
+from .stress.strategies import FixedLocationStress, NoStress
+from .tuning.pipeline import shipped_params
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scale",
+        default="smoke",
+        choices=["smoke", "default", "paper"],
+        help="experiment scale preset",
+    )
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    print(run_experiment(args.id, scale=args.scale, seed=args.seed))
+    return 0
+
+
+def _cmd_chips(_args: argparse.Namespace) -> int:
+    for chip in all_chips(include_reference=True):
+        print(
+            f"{chip.short_name:8s} {chip.name:14s} "
+            f"{chip.architecture:10s} {chip.released or '-'}"
+        )
+    return 0
+
+
+def _cmd_apps(_args: argparse.Namespace) -> int:
+    for app in all_applications():
+        print(f"{app.name:13s} {app.description}")
+    return 0
+
+
+def _cmd_litmus(args: argparse.Namespace) -> int:
+    chip = get_chip(args.chip)
+    test = get_test(args.test)
+    if args.stress_at:
+        locations = tuple(int(x) for x in args.stress_at.split(","))
+        sequence = parse_sequence(args.sequence or "st ld")
+        spec = FixedLocationStress(locations, sequence)
+    else:
+        spec = NoStress()
+    result = run_litmus(
+        chip,
+        test,
+        args.distance,
+        spec,
+        args.executions,
+        seed=args.seed,
+        randomise=args.randomise,
+    )
+    print(
+        f"{test.name} d={args.distance} on {chip.short_name}: "
+        f"{result.weak}/{result.executions} weak "
+        f"({100 * result.rate:.1f}%)"
+    )
+    return 0
+
+
+def _cmd_test_app(args: argparse.Namespace) -> int:
+    chip = get_chip(args.chip)
+    app = get_application(args.app)
+    envs = {
+        e.name: e
+        for e in standard_environments(shipped_params(chip.short_name))
+    }
+    env = envs[args.environment]
+    errors = timeouts = 0
+    for i in range(args.runs):
+        run = run_application(
+            app,
+            chip,
+            stress_spec=env.strategy,
+            randomise=env.randomise,
+            seed=derive_seed(args.seed, "cli", i),
+        )
+        errors += run.erroneous
+        timeouts += run.timed_out
+    rate = 100.0 * errors / args.runs
+    effective = "effective" if rate > 5.0 else "not effective"
+    print(
+        f"{app.name} on {chip.short_name} under {env.name}: "
+        f"{errors}/{args.runs} erroneous ({rate:.1f}%, {effective}), "
+        f"{timeouts} timeouts"
+    )
+    return 0
+
+
+def _cmd_harden(args: argparse.Namespace) -> int:
+    chip = get_chip(args.chip)
+    app = get_application(args.app)
+    result = empirical_fence_insertion(
+        app, chip, scale=get_scale(args.scale), seed=args.seed
+    )
+    print(
+        f"{app.name} on {chip.short_name}: {result.initial_fences} "
+        f"initial fences -> {len(result.reduced)} after reduction "
+        f"({'converged' if result.converged else 'NOT converged'}, "
+        f"{result.check_runs} check runs, {result.wall_seconds:.1f}s)"
+    )
+    for site in sorted(result.reduced):
+        print(f"  fence after {site}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpu-wmm",
+        description=(
+            "Reproduction of 'Exposing Errors Related to Weak Memory in "
+            "GPU Applications' (PLDI 2016)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiment", help="regenerate a paper artefact")
+    p.add_argument("id", choices=sorted(EXPERIMENTS))
+    _add_common(p)
+    p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("chips", help="list the chip registry")
+    p.set_defaults(fn=_cmd_chips)
+
+    p = sub.add_parser("apps", help="list the application registry")
+    p.set_defaults(fn=_cmd_apps)
+
+    p = sub.add_parser("litmus", help="run a litmus test")
+    p.add_argument("test", help="MP, LB or SB")
+    p.add_argument("--chip", default="K20")
+    p.add_argument("--distance", type=int, default=64)
+    p.add_argument("--executions", type=int, default=200)
+    p.add_argument(
+        "--stress-at",
+        default="",
+        help="comma-separated scratchpad offsets to stress",
+    )
+    p.add_argument("--sequence", default="", help="e.g. 'ld st2 ld'")
+    p.add_argument("--randomise", action="store_true")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_litmus)
+
+    p = sub.add_parser("test-app", help="run an application campaign cell")
+    p.add_argument("app")
+    p.add_argument("--chip", default="K20")
+    p.add_argument("--environment", default="sys-str+")
+    p.add_argument("--runs", type=int, default=40)
+    _add_common(p)
+    p.set_defaults(fn=_cmd_test_app)
+
+    p = sub.add_parser("harden", help="empirical fence insertion")
+    p.add_argument("app")
+    p.add_argument("--chip", default="Titan")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_harden)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

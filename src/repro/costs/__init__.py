@@ -1,0 +1,13 @@
+"""The cost of fences (paper Sec. 6)."""
+
+from .measure import CostMeasurement, FencingStrategy, measure_cost
+from .report import CostPoint, figure5_points, overhead_summary
+
+__all__ = [
+    "CostMeasurement",
+    "FencingStrategy",
+    "measure_cost",
+    "CostPoint",
+    "figure5_points",
+    "overhead_summary",
+]

@@ -1,0 +1,137 @@
+"""Runtime and energy measurement of fencing strategies (Sec. 6).
+
+Applications run *natively* (no testing environment) under three
+fencing strategies:
+
+* ``no`` — all fences removed (unsafe);
+* ``emp`` — the fences found by empirical fence insertion (hardened);
+* ``cons`` — a fence after every memory access (conservative).
+
+Runtime is the modelled kernel time (engine ticks plus fence stall
+cycles, converted through the chip clock — the analogue of CUDA-event
+timing); energy multiplies the average modelled power by the runtime,
+exactly the paper's NVML methodology, and is only available on the four
+chips with power sensors.  Runs failing the post-condition are discarded
+and repeated, as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+import statistics
+from dataclasses import dataclass
+
+from ..apps.base import Application, run_application
+from ..chips.power import PowerModel
+from ..chips.profile import HardwareProfile
+from ..hardening.fence_sets import all_fences
+from ..rng import derive_seed
+
+
+class FencingStrategy(enum.Enum):
+    """The three fencing configurations compared in Sec. 6."""
+
+    NONE = "no fences"
+    EMPIRICAL = "emp fences"
+    CONSERVATIVE = "cons fences"
+
+
+@dataclass(frozen=True)
+class CostMeasurement:
+    """Averaged native runtime/energy for one configuration."""
+
+    chip: str
+    app: str
+    strategy: FencingStrategy
+    runtime_ms: float
+    energy_j: float | None
+    runs: int
+    discarded: int
+
+    def overhead_vs(self, baseline: "CostMeasurement") -> float:
+        """Runtime overhead in percent relative to ``baseline``."""
+        if baseline.runtime_ms <= 0:
+            raise ValueError("baseline runtime must be positive")
+        return 100.0 * (self.runtime_ms / baseline.runtime_ms - 1.0)
+
+    def energy_overhead_vs(self, baseline: "CostMeasurement") -> float:
+        """Energy overhead in percent relative to ``baseline``."""
+        if self.energy_j is None or baseline.energy_j is None:
+            raise ValueError("energy not measured (no power sensors)")
+        if baseline.energy_j <= 0:
+            raise ValueError("baseline energy must be positive")
+        return 100.0 * (self.energy_j / baseline.energy_j - 1.0)
+
+
+def fences_for(
+    app: Application,
+    strategy: FencingStrategy,
+    empirical: frozenset[str] | None = None,
+) -> frozenset[str]:
+    """The fence set a strategy runs with.
+
+    ``empirical`` supplies the per-chip insertion result; it defaults to
+    the application's ground-truth required set (what insertion
+    converges to).
+    """
+    if strategy is FencingStrategy.NONE:
+        return frozenset()
+    if strategy is FencingStrategy.CONSERVATIVE:
+        return all_fences(app)
+    if empirical is not None:
+        return empirical
+    return app.required_sites()
+
+
+def measure_cost(
+    app: Application,
+    chip: HardwareProfile,
+    strategy: FencingStrategy,
+    runs: int = 30,
+    seed: int = 0,
+    empirical: frozenset[str] | None = None,
+) -> CostMeasurement:
+    """Average native runtime/energy over ``runs`` passing executions."""
+    power = PowerModel(chip)
+    runtimes: list[float] = []
+    energies: list[float] = []
+    discarded = 0
+    attempt = 0
+    while len(runtimes) < runs:
+        attempt += 1
+        if attempt > runs * 4:
+            raise RuntimeError(
+                f"too many erroneous native runs for {app.name} on "
+                f"{chip.short_name}; cannot measure cost"
+            )
+        result = run_application(
+            app,
+            chip,
+            seed=derive_seed(seed, "cost", strategy.value, attempt),
+            fence_sites=fences_for(app, strategy, empirical),
+        )
+        if result.erroneous:
+            # The paper discards runs failing the post-condition.
+            discarded += 1
+            continue
+        runtimes.append(chip.ticks_to_ms(result.result.runtime_ticks))
+        if chip.supports_power:
+            # Fence sleeps are part of the tick count; split the ticks
+            # into busy and (capped) fence-stall portions for the power
+            # model's activity estimate.
+            stall = min(
+                result.result.fence_stall_cycles,
+                result.result.ticks * 9 // 10,
+            )
+            energies.append(
+                power.energy_joules(result.result.ticks - stall, stall)
+            )
+    return CostMeasurement(
+        chip=chip.short_name,
+        app=app.name,
+        strategy=strategy,
+        runtime_ms=statistics.fmean(runtimes),
+        energy_j=statistics.fmean(energies) if energies else None,
+        runs=runs,
+        discarded=discarded,
+    )

@@ -1,0 +1,102 @@
+"""Figure 5 data: fence cost scatter points and overhead summaries."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from ..apps.base import Application
+from ..chips.profile import HardwareProfile
+from .measure import CostMeasurement, FencingStrategy, measure_cost
+
+
+@dataclass(frozen=True)
+class CostPoint:
+    """One scatter point of Fig. 5: baseline vs fenced cost."""
+
+    chip: str
+    app: str
+    strategy: FencingStrategy
+    baseline_runtime_ms: float
+    fenced_runtime_ms: float
+    baseline_energy_j: float | None
+    fenced_energy_j: float | None
+
+    @property
+    def runtime_overhead_pct(self) -> float:
+        return 100.0 * (
+            self.fenced_runtime_ms / self.baseline_runtime_ms - 1.0
+        )
+
+    @property
+    def energy_overhead_pct(self) -> float | None:
+        if self.baseline_energy_j is None or self.fenced_energy_j is None:
+            return None
+        return 100.0 * (self.fenced_energy_j / self.baseline_energy_j - 1.0)
+
+
+def figure5_points(
+    apps: list[Application],
+    chips: list[HardwareProfile],
+    runs: int = 20,
+    seed: int = 0,
+    empirical: dict[tuple[str, str], frozenset[str]] | None = None,
+) -> list[CostPoint]:
+    """Measure every (chip, app) under all three strategies.
+
+    ``empirical`` optionally maps (chip, app) to the fence set found by
+    empirical insertion on that chip; ground-truth sets are used
+    otherwise.
+    """
+    points = []
+    for chip in chips:
+        for app in apps:
+            base = measure_cost(
+                app, chip, FencingStrategy.NONE, runs=runs, seed=seed
+            )
+            for strategy in (
+                FencingStrategy.EMPIRICAL,
+                FencingStrategy.CONSERVATIVE,
+            ):
+                emp = None
+                if empirical is not None:
+                    emp = empirical.get((chip.short_name, app.name))
+                fenced = measure_cost(
+                    app, chip, strategy, runs=runs, seed=seed, empirical=emp
+                )
+                points.append(
+                    CostPoint(
+                        chip=chip.short_name,
+                        app=app.name,
+                        strategy=strategy,
+                        baseline_runtime_ms=base.runtime_ms,
+                        fenced_runtime_ms=fenced.runtime_ms,
+                        baseline_energy_j=base.energy_j,
+                        fenced_energy_j=fenced.energy_j,
+                    )
+                )
+    return points
+
+
+def overhead_summary(points: list[CostPoint]) -> dict[str, dict[str, float]]:
+    """Median and maximum overheads per strategy (the Sec. 6 numbers)."""
+    out: dict[str, dict[str, float]] = {}
+    for strategy in (FencingStrategy.EMPIRICAL, FencingStrategy.CONSERVATIVE):
+        mine = [p for p in points if p.strategy is strategy]
+        if not mine:
+            continue
+        runtimes = [p.runtime_overhead_pct for p in mine]
+        energies = [
+            e
+            for p in mine
+            if (e := p.energy_overhead_pct) is not None
+        ]
+        summary = {
+            "median runtime overhead %": statistics.median(runtimes),
+            "max runtime overhead %": max(runtimes),
+        }
+        if energies:
+            summary["median energy overhead %"] = statistics.median(energies)
+            summary["max energy overhead %"] = max(energies)
+        out[strategy.value] = summary
+    return out

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class UnknownChipError(ReproError):
+    """Requested a chip that is not in the registry."""
+
+    def __init__(self, name: str, known: list[str]):
+        self.name = name
+        self.known = known
+        super().__init__(
+            f"unknown chip {name!r}; known chips: {', '.join(known)}"
+        )
+
+
+class UnknownApplicationError(ReproError):
+    """Requested an application case study that is not in the registry."""
+
+    def __init__(self, name: str, known: list[str]):
+        self.name = name
+        self.known = known
+        super().__init__(
+            f"unknown application {name!r}; known: {', '.join(known)}"
+        )
+
+
+class KernelTimeoutError(ReproError):
+    """A kernel exceeded the engine's tick budget (paper: 30s timeout)."""
+
+    def __init__(self, ticks: int):
+        self.ticks = ticks
+        super().__init__(f"kernel did not terminate within {ticks} ticks")
+
+
+class BarrierDivergenceError(ReproError):
+    """Not all threads of a block reached a barrier (undefined behaviour
+    in CUDA; a hard error in our simulator)."""
+
+
+class InvalidAccessError(ReproError):
+    """A kernel accessed memory outside any allocated buffer."""
+
+
+class PowerQueryUnsupportedError(ReproError):
+    """NVML-style power query on a chip without power sensors.
+
+    The paper could only measure power on K5200, Titan, K20 and C2075.
+    """
+
+    def __init__(self, chip: str):
+        self.chip = chip
+        super().__init__(f"chip {chip!r} does not support power queries")
+
+
+class InvalidSequenceError(ReproError):
+    """An access sequence string was not of the form (ld|st)+."""
+
+
+class InvalidStressConfigError(ReproError):
+    """A stress configuration was internally inconsistent."""
+
+
+class FenceInsertionError(ReproError):
+    """Empirical fence insertion could not converge (paper: 24h timeout)."""

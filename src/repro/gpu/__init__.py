@@ -1,0 +1,38 @@
+"""Simulated GPU: SIMT execution on top of a weak memory subsystem.
+
+The simulator has two halves:
+
+* an execution engine (:mod:`repro.gpu.engine`) that runs CUDA-style
+  kernels — Python generator coroutines grouped into warps, blocks and a
+  grid — under a randomised warp scheduler; and
+* a memory subsystem (:mod:`repro.gpu.memory`) with per-SM store buffers
+  that drain to global memory out of order across channels, producing the
+  weak behaviours (MP / LB / SB shaped) the paper studies.  Reordering
+  probabilities respond to the memory *pressure* exerted by stressing
+  threads (:mod:`repro.gpu.pressure`).
+
+Kernels observe weak memory exactly the way real CUDA code does: through
+stale loads, lost updates and reordered publishes; fences
+(``ctx.fence_device()``) restore ordering at a modelled cost in stall
+cycles that feeds the Sec. 6 runtime/energy study.
+"""
+
+from .addresses import AddressSpace, Buffer
+from .engine import Engine, ExecutionResult, Outcome
+from .kernel import Kernel, LaunchConfig
+from .memory import MemorySystem
+from .pressure import StressField
+from .thread import ThreadContext
+
+__all__ = [
+    "AddressSpace",
+    "Buffer",
+    "Engine",
+    "ExecutionResult",
+    "Outcome",
+    "Kernel",
+    "LaunchConfig",
+    "MemorySystem",
+    "StressField",
+    "ThreadContext",
+]

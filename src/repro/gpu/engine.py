@@ -1,0 +1,304 @@
+"""The execution engine: runs kernels over the weak memory subsystem.
+
+One engine tick = the scheduler picks one warp (or a stress placeholder),
+every active thread of that warp attempts one operation, and the memory
+subsystem advances one drain step.  Kernel completion implies a full
+flush (device-wide visibility), matching CUDA's end-of-kernel semantics.
+
+Timing model: a device fence puts the issuing thread to sleep for the
+chip's fence stall cost (on top of the real ticks spent waiting for the
+drain), so fence delays overlap across threads and only lengthen the
+kernel along its critical path.  Kernel runtime in cycles is simply the
+tick count; the accumulated fence stall cycles additionally feed the
+Sec. 6 energy model as low-activity cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..chips.profile import HardwareProfile
+from ..errors import KernelTimeoutError
+from .events import (
+    FENCE_DEVICE,
+    OP_BARRIER,
+    OP_FENCE,
+    OP_LOAD,
+    OP_NOOP,
+    OP_RMW,
+    OP_STORE,
+    STALL,
+)
+from .grid import build_grid
+from .kernel import Kernel, LaunchConfig
+from .memory import MemorySystem
+from .scheduler import WarpScheduler
+from .warp import SimThread
+
+#: Default tick budget per kernel (the paper's 30 s timeout analogue).
+DEFAULT_MAX_TICKS = 400_000
+
+#: Operations a thread may issue per scheduling turn.  Real warps issue
+#: short instruction bursts back to back; without this, consecutive
+#: program-order operations would be separated by a full scheduling
+#: round-trip and weak-memory race windows would vanish.
+BURST = 4
+
+
+class Outcome(enum.Enum):
+    """How a kernel execution ended."""
+
+    OK = "ok"
+    TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome and cost of one kernel execution."""
+
+    outcome: Outcome
+    ticks: int
+    fence_stall_cycles: int
+    n_fences: int
+    n_swaps: int
+    n_bypasses: int
+    n_slow_loads: int
+
+    @property
+    def timed_out(self) -> bool:
+        return self.outcome is Outcome.TIMEOUT
+
+    @property
+    def runtime_ticks(self) -> int:
+        """Modelled runtime in cycles.
+
+        Fence sleeps already unfold inside the tick count; the separate
+        ``fence_stall_cycles`` tally is used by the energy model.
+        """
+        return self.ticks
+
+    def merged(self, other: "ExecutionResult") -> "ExecutionResult":
+        """Accumulate results across a multi-kernel application run."""
+        worse = (
+            Outcome.TIMEOUT
+            if (self.timed_out or other.timed_out)
+            else Outcome.OK
+        )
+        return ExecutionResult(
+            outcome=worse,
+            ticks=self.ticks + other.ticks,
+            fence_stall_cycles=self.fence_stall_cycles
+            + other.fence_stall_cycles,
+            n_fences=self.n_fences + other.n_fences,
+            n_swaps=self.n_swaps + other.n_swaps,
+            n_bypasses=self.n_bypasses + other.n_bypasses,
+            n_slow_loads=self.n_slow_loads + other.n_slow_loads,
+        )
+
+
+class Engine:
+    """Drives a grid of kernel coroutines over a :class:`MemorySystem`."""
+
+    def __init__(
+        self,
+        chip: HardwareProfile,
+        memory: MemorySystem,
+        rng: np.random.Generator,
+        max_ticks: int = DEFAULT_MAX_TICKS,
+        n_stress_units: int = 0,
+        randomise: bool = False,
+        raise_on_timeout: bool = False,
+    ):
+        self.chip = chip
+        self.memory = memory
+        self.rng = rng
+        self.max_ticks = max_ticks
+        self.n_stress_units = n_stress_units
+        self.randomise = randomise
+        self.raise_on_timeout = raise_on_timeout
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        kernel: Kernel,
+        config: LaunchConfig,
+        fence_sites: frozenset[str] = frozenset(),
+    ) -> ExecutionResult:
+        """Execute one kernel launch to completion (or timeout)."""
+        grid = build_grid(
+            kernel,
+            config,
+            self.chip.n_sms,
+            fence_sites=fence_sites,
+            randomise_rng=self.rng if self.randomise else None,
+        )
+        sm_of_key = {t.key: b.sm for b in grid.blocks for t in b.threads}
+        scheduler = WarpScheduler(
+            grid.warps, self.n_stress_units, self.rng, self.randomise
+        )
+        mem = self.memory
+        swaps0, byp0, slow0 = mem.n_swaps, mem.n_bypasses, mem.n_slow_loads
+
+        ticks = 0
+        fence_stalls = 0
+        n_fences = 0
+        barrier_blocks: set[int] = set()
+        timed_out = False
+
+        while not grid.finished:
+            ticks += 1
+            if ticks > self.max_ticks:
+                timed_out = True
+                break
+            warp = scheduler.pick()
+            if warp is not None:
+                for thread in warp.threads:
+                    sm = sm_of_key[thread.key]
+                    if thread.sleep_until > ticks:
+                        continue
+                    for _ in range(BURST):
+                        if not thread.active:
+                            break
+                        stall, fenced, progressed = self._exec(thread, sm)
+                        if stall:
+                            # The fencing thread waits out the pipeline
+                            # flush; other warps keep running (fence
+                            # stalls overlap across threads).
+                            thread.sleep_until = ticks + stall
+                        fence_stalls += stall
+                        n_fences += fenced
+                        if thread.at_barrier:
+                            barrier_blocks.add(warp.block_id)
+                            break
+                        if not progressed:
+                            break
+            mem.step()
+            if barrier_blocks:
+                self._release_barriers(grid, barrier_blocks)
+
+        mem.flush_all()
+        if timed_out and self.raise_on_timeout:
+            raise KernelTimeoutError(self.max_ticks)
+        return ExecutionResult(
+            outcome=Outcome.TIMEOUT if timed_out else Outcome.OK,
+            ticks=ticks,
+            fence_stall_cycles=fence_stalls,
+            n_fences=n_fences,
+            n_swaps=mem.n_swaps - swaps0,
+            n_bypasses=mem.n_bypasses - byp0,
+            n_slow_loads=mem.n_slow_loads - slow0,
+        )
+
+    def run_all(
+        self,
+        kernels: list[tuple[Kernel, LaunchConfig]],
+        fence_sites: frozenset[str] = frozenset(),
+    ) -> ExecutionResult:
+        """Run several kernels back to back (multi-kernel applications)."""
+        result: ExecutionResult | None = None
+        for kernel, config in kernels:
+            step = self.run(kernel, config, fence_sites)
+            result = step if result is None else result.merged(step)
+            if step.timed_out:
+                break
+        assert result is not None, "run_all needs at least one kernel"
+        return result
+
+    # ------------------------------------------------------------------
+    def _exec(self, thread: SimThread, sm: int) -> tuple[int, int, bool]:
+        """Attempt one operation for one thread.
+
+        Returns (fence stall cycles charged, fences completed, whether
+        the operation completed — False means the thread is stalled and
+        its burst ends).
+        """
+        if thread.op is None and not self._advance(thread):
+            return 0, 0, False
+        op = thread.op
+        kind = op[0]
+        mem = self.memory
+        if kind == OP_STORE:
+            if mem.write(sm, thread.key, op[1], op[2]):
+                self._complete(thread, None)
+                return 0, 0, True
+            return 0, 0, False
+        if kind == OP_LOAD:
+            value = mem.read(sm, thread.key, op[1], thread.op_state)
+            if value is not STALL:
+                self._complete(thread, value)
+                return 0, 0, True
+            return 0, 0, False
+        if kind == OP_RMW:
+            old = mem.rmw(sm, thread.key, op[1], op[2], thread.op_state)
+            if old is not STALL:
+                self._complete(thread, old)
+                return 0, 0, True
+            return 0, 0, False
+        if kind == OP_FENCE:
+            if not thread.op_state.get("begun"):
+                thread.op_state["pending"] = mem.thread_pending(
+                    sm, thread.key
+                )
+                mem.fence_begin(thread.key)
+                thread.op_state["begun"] = True
+            if mem.fence_done(sm, thread.key):
+                had_pending = thread.op_state.get("pending", False)
+                self._complete(thread, None)
+                if had_pending:
+                    # The fence actually waited on the write pipeline.
+                    cost = self.chip.fence_stall_cycles
+                else:
+                    # Nothing to drain: a fence after a load (or an
+                    # already-drained store) costs almost nothing.
+                    cost = 2
+                if op[1] != FENCE_DEVICE:
+                    cost = cost // 4 + 1  # block-level fences are cheap
+                return cost, 1, True
+            return 0, 0, False
+        if kind == OP_BARRIER:
+            thread.at_barrier = True
+            thread.op = None
+            thread.to_send = None
+            return 0, 0, True
+        if kind == OP_NOOP:
+            self._complete(thread, None)
+            return 0, 0, True
+        raise ValueError(  # pragma: no cover - kernel programming error
+            f"unknown op {op!r} from thread {thread.key}"
+        )
+
+    @staticmethod
+    def _complete(thread: SimThread, value: object) -> None:
+        thread.op = None
+        thread.op_state = {}
+        thread.to_send = value
+
+    @staticmethod
+    def _advance(thread: SimThread) -> bool:
+        """Pull the next op from the coroutine; False if it finished."""
+        try:
+            if thread.started:
+                op = thread.gen.send(thread.to_send)
+            else:
+                thread.started = True
+                op = next(thread.gen)
+        except StopIteration:
+            thread.done = True
+            return False
+        thread.op = op
+        thread.op_state = {}
+        thread.to_send = None
+        return True
+
+    def _release_barriers(self, grid, barrier_blocks: set[int]) -> None:
+        done = []
+        for block_id in barrier_blocks:
+            block = grid.blocks[block_id]
+            if block.barrier_ready():
+                for thread in block.release_barrier():
+                    self.memory.drain_thread(block.sm, thread.key)
+                done.append(block_id)
+        barrier_blocks.difference_update(done)

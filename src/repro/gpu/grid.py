@@ -1,0 +1,70 @@
+"""Grid construction: threads -> warps -> blocks -> SMs.
+
+Block-to-SM assignment is round-robin by default; under thread
+randomisation (paper Sec. 3.5) the assignment is shuffled, which changes
+which blocks share a store buffer and how their warps interleave — while
+necessarily respecting warp and block membership, exactly the constraint
+the paper imposes to avoid barrier divergence and broken intra-warp
+synchronisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .block import Block
+from .kernel import Kernel, LaunchConfig
+from .thread import ThreadContext
+from .warp import SimThread, Warp
+
+
+class Grid:
+    """All blocks of one kernel launch."""
+
+    def __init__(self, blocks: list[Block]):
+        self.blocks = blocks
+        self.threads = [t for b in blocks for t in b.threads]
+        self.warps = [w for b in blocks for w in b.warps]
+
+    @property
+    def finished(self) -> bool:
+        return all(t.done for t in self.threads)
+
+    def live_threads(self) -> int:
+        return sum(1 for t in self.threads if not t.done)
+
+
+def build_grid(
+    kernel: Kernel,
+    config: LaunchConfig,
+    n_sms: int,
+    fence_sites: frozenset[str] = frozenset(),
+    randomise_rng: np.random.Generator | None = None,
+) -> Grid:
+    """Instantiate every thread coroutine and group into warps/blocks."""
+    sm_of_block = list(range(config.grid_dim))
+    if randomise_rng is not None:
+        randomise_rng.shuffle(sm_of_block)
+    blocks = []
+    key = 0
+    for block_id in range(config.grid_dim):
+        sm = sm_of_block[block_id] % n_sms
+        warps = []
+        for warp_id in range(config.warps_per_block):
+            lo = warp_id * config.warp_size
+            hi = min(lo + config.warp_size, config.block_dim)
+            threads = []
+            for tid in range(lo, hi):
+                ctx = ThreadContext(
+                    tid=tid,
+                    block_id=block_id,
+                    block_dim=config.block_dim,
+                    grid_dim=config.grid_dim,
+                    warp_size=config.warp_size,
+                    fence_sites=fence_sites,
+                )
+                threads.append(SimThread(key, ctx, kernel.instantiate(ctx)))
+                key += 1
+            warps.append(Warp(block_id, warp_id, threads))
+        blocks.append(Block(block_id, sm, warps))
+    return Grid(blocks)

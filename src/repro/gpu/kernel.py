@@ -1,0 +1,49 @@
+"""Kernel and launch configuration descriptions."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid geometry for one kernel launch.
+
+    ``warp_size`` is 32 on real Nvidia hardware; simulations may shrink it
+    to trade SIMT width for speed without changing the memory semantics.
+    """
+
+    grid_dim: int
+    block_dim: int
+    warp_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.grid_dim <= 0 or self.block_dim <= 0 or self.warp_size <= 0:
+            raise ValueError("launch dimensions must be positive")
+
+    @property
+    def n_threads(self) -> int:
+        return self.grid_dim * self.block_dim
+
+    @property
+    def warps_per_block(self) -> int:
+        return -(-self.block_dim // self.warp_size)
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A device function plus its arguments.
+
+    ``fn`` must be a generator function whose first parameter is a
+    :class:`~repro.gpu.thread.ThreadContext`; remaining parameters are
+    taken from ``args``.
+    """
+
+    name: str
+    fn: Callable
+    args: tuple = field(default=())
+
+    def instantiate(self, ctx) -> object:
+        """Create the coroutine for one thread."""
+        return self.fn(ctx, *self.args)

@@ -1,0 +1,605 @@
+"""The weak memory subsystem.
+
+Operational model (see DESIGN.md Sec. 4 for the rationale):
+
+* Global memory is a flat word-addressed store.
+* Each SM owns a bounded store buffer.  A store enters its SM's buffer
+  and becomes visible to other SMs only when it *drains*.  Threads on the
+  same SM see buffered stores early (forwarding), which keeps intra-block
+  communication strong — matching real GPUs, where the paper found only
+  *inter*-block idioms at risk.
+* Entries to the same channel (and a fortiori the same address) drain in
+  FIFO order; entries to different channels may swap with a probability
+  that grows with stress pressure on the older entry's channel.  This is
+  the MP-shaped write reordering.  Swaps are additionally gated on the
+  two addresses being at least ``store_store_min_distance`` words apart
+  (write-combining within a cache line), which is why the paper sees no
+  weak behaviour for distances below the critical patch size.
+* A load first forwards from its own SM's buffer.  If the loading thread
+  itself has unrelated stores buffered, the load normally waits for them
+  (program order); with a pressure-dependent probability it *bypasses*
+  them instead — the SB-shaped reordering.
+* Deferred loads (issue/resolve split, used by the litmus runner the way
+  real litmus tests only inspect registers at the end) may resolve late,
+  after program-order-later stores have drained — the LB-shaped
+  reordering.
+* Atomic read-modify-writes act on global memory immediately and are
+  **not** fences: program-order-earlier buffered stores can still be
+  pending when the RMW becomes visible.  This reproduces, e.g., the
+  cbe-dot spinlock bug of the paper's Fig. 1.
+* A device fence drains the issuing thread's stores and resolves its
+  deferred loads, charging the chip's fence stall cost.
+
+All probabilistic decisions flow from the chip profile and the stress
+field; on the ``sc-ref`` chip every probability is zero and the subsystem
+is sequentially consistent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..chips.profile import HardwareProfile
+from .events import STALL
+from .pressure import StressField
+
+#: Probability ceiling for any single reordering decision.
+_P_MAX = 0.45
+#: Baseline drain latency in ticks (natively a store drains almost
+#: immediately once eligible — native weak behaviours are rare).
+_BASE_LATENCY = 0.05
+#: Stores younger than this many ticks are not eligible to drain.
+_MIN_AGE = 1
+#: Base per-tick resolution probability of a slow (delayed) load;
+#: pressure on the load's channel slows resolution further.
+_SLOW_RESOLVE_P = 0.25
+#: SB-shaped bypass is easier than store-store swaps on real silicon
+#: (plain store buffering); boost relative to the chip's reorder gain.
+_BYPASS_BOOST = 2.2
+#: Entries the drain loop may commit per SM per tick.
+_DRAIN_WIDTH = 8
+
+#: Drain-probability multiplier for a parked store.  A store that has
+#: been overtaken (by a cross-channel swap or an atomic bypass) was
+#: sitting in a congested queue; it keeps draining slowly, which is what
+#: gives consumers a realistic window to observe the stale value.
+_PARKED_DRAIN = 0.2
+
+# Store-buffer entry field indices (plain lists for speed).
+_E_THREAD = 0
+_E_ADDR = 1
+_E_VAL = 2
+_E_CH = 3
+_E_TICK = 4
+_E_PARKED = 5
+
+
+class DeferredLoad:
+    """A load that has been issued but whose value may resolve later.
+
+    ``block_mode`` carries the program-order constraint the load picked
+    up at issue time:
+
+    * ``None`` — unconstrained (resolves immediately, or randomly late
+      when ``slow`` — the LB-shaped delay);
+    * ``("channel", ch)`` — must wait for the issuing thread's pending
+      stores on channel ``ch`` (same-channel FIFO);
+    * ``("stores", None)`` — must wait for all of the issuing thread's
+      pending stores (a failed SB bypass);
+    * ``("load", handle)`` — must wait for an earlier load by the same
+      thread on the same channel (loads within a channel stay ordered,
+      so MP-shaped read reordering needs distinct channels).
+    """
+
+    __slots__ = (
+        "thread",
+        "sm",
+        "addr",
+        "ch",
+        "slow",
+        "block_mode",
+        "resolved",
+        "value",
+    )
+
+    def __init__(
+        self,
+        thread: int,
+        sm: int,
+        addr: int,
+        ch: int,
+        slow: bool,
+        block_mode: tuple | None = None,
+    ):
+        self.thread = thread
+        self.sm = sm
+        self.addr = addr
+        self.ch = ch
+        self.slow = slow
+        self.block_mode = block_mode
+        self.resolved = False
+        self.value: object = None
+
+
+class MemorySystem:
+    """Weak global memory shared by all SMs of one simulated chip."""
+
+    def __init__(
+        self,
+        profile: HardwareProfile,
+        stress: StressField | None = None,
+        rng: np.random.Generator | None = None,
+        weak_scale: float = 1.0,
+    ):
+        self.profile = profile
+        self.stress = stress if stress is not None else StressField.zero(profile)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.weak_scale = weak_scale
+
+        self.mem: dict[int, object] = {}
+        self.sm_buffers: list[list[list]] = [[] for _ in range(profile.n_sms)]
+        self.tick = 0
+        self._fencing: set[int] = set()
+        self._deferred: list[DeferredLoad] = []
+
+        # Statistics (consumed by tests and the cost model).
+        self.n_drains = 0
+        self.n_swaps = 0
+        self.n_bypasses = 0
+        self.n_slow_loads = 0
+
+        self._precompute()
+
+    # ------------------------------------------------------------------
+    # precomputed per-channel probabilities (the stress field is static)
+    # ------------------------------------------------------------------
+    def _precompute(self) -> None:
+        prof, stress, scale = self.profile, self.stress, self.weak_scale
+        n = prof.n_channels
+        turb = stress.turbulence
+        sens = prof.sensitivity
+        press = stress.press
+
+        # Effective pressure per channel: stress on a channel acts with
+        # that channel's sensitivity and bleeds mildly onto neighbouring
+        # channels (shared arbitration), which is what gives the paper's
+        # Fig. 3 its patches of *varying* height.
+        idx = np.arange(n)
+        dist = np.abs(idx[:, None] - idx[None, :])
+        dist = np.minimum(dist, n - dist)  # ring topology
+        bleed = np.where(dist == 0, 1.0, np.where(dist == 1, 0.35, 0.08))
+        eff = bleed @ (press * sens)
+
+        # Drain probability per tick for a store on channel ch.  The
+        # slowdown, like the reordering probabilities, works through the
+        # chip's channel sensitivity and the turbulence of the field —
+        # diffuse or uniform stress barely delays any one line, which is
+        # why rand-str and cache-str are weak (paper Tab. 5).
+        self.drain_p = 1.0 / (
+            1.0
+            + _BASE_LATENCY
+            + prof.latency_gain * press * sens * turb * scale
+        )
+        # Cross-channel store-store swap probability matrix
+        # [older channel, younger channel].
+        pair = eff[:, None] + prof.cross_channel_weight * eff[None, :]
+        swap = prof.reorder_base + prof.reorder_gain * pair * turb
+        self.swap_p = np.minimum(swap * scale + prof.store_swap_leak, _P_MAX)
+        # Store-load bypass probability (SB) keyed by the *store*'s channel.
+        bypass = (
+            prof.reorder_base
+            + _BYPASS_BOOST * prof.reorder_gain * eff * turb
+        )
+        self.bypass_p = np.minimum(bypass * scale, _P_MAX)
+        # Slow-load probability (LB) keyed by the load's channel.
+        slow = prof.load_delay_base + prof.load_delay_gain * eff * turb
+        self.slow_p = np.minimum(slow * scale, _P_MAX)
+        # Slow loads resolve more slowly on pressured channels.
+        self.resolve_p = _SLOW_RESOLVE_P / (
+            1.0 + prof.latency_gain * press * sens * turb * scale
+        )
+        assert self.drain_p.shape == (n,)
+
+    def set_stress(self, stress: StressField) -> None:
+        """Swap the stress field (e.g. once a scratchpad is allocated)."""
+        self.stress = stress
+        self._precompute()
+
+    # ------------------------------------------------------------------
+    # thread-facing operations
+    # ------------------------------------------------------------------
+    def read(
+        self, sm: int, thread: int, addr: int, op_state: dict | None = None
+    ) -> object:
+        """Blocking load.  Returns the value, or ``STALL`` to retry.
+
+        ``op_state`` is per-operation scratch owned by the engine; it
+        makes the bypass decision sticky across retries so that a stalled
+        load does not re-roll the dice every tick.
+        """
+        buf = self.sm_buffers[sm]
+        load_ch = self.profile.channel(addr)
+        own_pending = None
+        own_same_channel = False
+        for entry in reversed(buf):
+            if entry[_E_ADDR] == addr:
+                return entry[_E_VAL]  # SM-local forwarding
+            if entry[_E_THREAD] == thread:
+                if own_pending is None:
+                    own_pending = entry
+                if entry[_E_CH] == load_ch:
+                    own_same_channel = True
+        if own_same_channel:
+            # Same-channel FIFO: the load waits for the store to drain.
+            # This is why SB-shaped weak behaviour needs the two
+            # communication locations in different patches.
+            return STALL
+        if own_pending is not None:
+            if op_state is not None and op_state.get("waiting"):
+                return STALL
+            p = self.bypass_p[own_pending[_E_CH]]
+            if self.rng.random() >= p:
+                if op_state is not None:
+                    op_state["waiting"] = True
+                return STALL
+            self.n_bypasses += 1
+        return self.mem.get(addr, 0)
+
+    def write(self, sm: int, thread: int, addr: int, val: object) -> bool:
+        """Buffered store.  Returns False when the buffer is full."""
+        buf = self.sm_buffers[sm]
+        if len(buf) >= self.profile.store_buffer_capacity * 8:
+            return False
+        ch = self.profile.channel(addr)
+        # Program order, same address: an earlier deferred load by this
+        # thread must see the pre-store value.
+        self._resolve_matching(thread, addr)
+        buf.append([thread, addr, val, ch, self.tick, False])
+        return True
+
+    def rmw(
+        self,
+        sm: int,
+        thread: int,
+        addr: int,
+        fn: Callable[[object], object],
+        op_state: dict | None = None,
+    ) -> object:
+        """Atomic read-modify-write.  Returns the old value or ``STALL``.
+
+        Atomics act on global memory through the atomic pipeline, so
+        they are *not* ordered against the issuing thread's buffered
+        stores by the channel FIFO; but neither are they fences.  The
+        atomic normally waits for the thread's earlier stores to drain;
+        with a pressure-dependent probability it overtakes them instead
+        — this is the store/atomic reordering behind the paper's
+        unlock-before-critical-store bugs (Fig. 1) and the stale-partial
+        bugs of sdk-red and ct-octree.
+        """
+        buf = self.sm_buffers[sm]
+        own_pending = None
+        for entry in reversed(buf):
+            if entry[_E_THREAD] == thread and entry[_E_ADDR] != addr:
+                own_pending = entry
+                break
+        if own_pending is not None:
+            if op_state is not None and op_state.get("waiting"):
+                return STALL
+            if self.rng.random() >= self.bypass_p[own_pending[_E_CH]]:
+                if op_state is not None:
+                    op_state["waiting"] = True
+                return STALL
+            self.n_bypasses += 1
+            # The atomic jumped this thread's queued stores; they stay
+            # parked in the congested write queue.
+            for entry in buf:
+                if entry[_E_THREAD] == thread:
+                    entry[_E_PARKED] = True
+        # Coherence: same-address buffered stores on this SM are ordered
+        # before the atomic; commit them now (in order).
+        same = [e for e in buf if e[_E_ADDR] == addr]
+        for entry in same:
+            buf.remove(entry)
+            self._commit(entry)
+        old = self.mem.get(addr, 0)
+        self.mem[addr] = fn(old)
+        return old
+
+    def issue_load(self, sm: int, thread: int, addr: int) -> DeferredLoad:
+        """Issue a deferred load; resolve time depends on pressure.
+
+        Applies the same program-order constraints as a blocking
+        :meth:`read` — forwarding, same-channel FIFO, and the SB bypass
+        roll against the thread's own buffered stores — but without
+        blocking the caller: constrained loads park on the deferred list
+        and resolve when their blocking stores drain.
+        """
+        ch = self.profile.channel(addr)
+        buf = self.sm_buffers[sm]
+        # Loads within a channel stay ordered, as do loads closer than
+        # the chip's reorder distance threshold (on Maxwell this is what
+        # pushes observable MP read reordering out to d >= 256): chain
+        # behind an earlier unresolved load by this thread.
+        min_dist = self.profile.store_store_min_distance
+        for earlier in self._deferred:
+            if (
+                not earlier.resolved
+                and earlier.thread == thread
+                and (
+                    earlier.ch == ch
+                    or abs(earlier.addr - addr) < min_dist
+                )
+            ):
+                handle = DeferredLoad(
+                    thread, sm, addr, ch, slow=False,
+                    block_mode=("load", earlier),
+                )
+                self._deferred.append(handle)
+                return handle
+        own_pending = None
+        own_same_channel = False
+        for entry in reversed(buf):
+            if entry[_E_ADDR] == addr:
+                handle = DeferredLoad(thread, sm, addr, ch, slow=False)
+                handle.value = entry[_E_VAL]
+                handle.resolved = True
+                return handle
+            if entry[_E_THREAD] == thread:
+                if own_pending is None:
+                    own_pending = entry
+                if entry[_E_CH] == ch:
+                    own_same_channel = True
+        if own_same_channel:
+            handle = DeferredLoad(
+                thread, sm, addr, ch, slow=False, block_mode=("channel", ch)
+            )
+            self._deferred.append(handle)
+            return handle
+        if own_pending is not None:
+            if self.rng.random() >= self.bypass_p[own_pending[_E_CH]]:
+                handle = DeferredLoad(
+                    thread, sm, addr, ch, slow=False,
+                    block_mode=("stores", None),
+                )
+                self._deferred.append(handle)
+                return handle
+            self.n_bypasses += 1
+        slow = self.rng.random() < self.slow_p[ch]
+        handle = DeferredLoad(thread, sm, addr, ch, slow)
+        if slow:
+            self.n_slow_loads += 1
+            self._deferred.append(handle)
+        else:
+            self._resolve_pending(handle)
+        return handle
+
+    def poll_load(self, handle: DeferredLoad) -> object:
+        """Value of a deferred load, or ``STALL`` if still in flight."""
+        if not handle.resolved:
+            return STALL
+        return handle.value
+
+    # ------------------------------------------------------------------
+    # fences
+    # ------------------------------------------------------------------
+    def thread_pending(self, sm: int, thread: int) -> bool:
+        """True when the thread has buffered stores or in-flight loads."""
+        for entry in self.sm_buffers[sm]:
+            if entry[_E_THREAD] == thread:
+                return True
+        return any(
+            h.thread == thread and not h.resolved for h in self._deferred
+        )
+
+    def fence_begin(self, thread: int) -> None:
+        """Mark a thread as fencing: its stores get priority FIFO drain.
+
+        The thread's unconstrained slow loads resolve immediately;
+        blocked loads resolve naturally once the priority drain clears
+        their blocking stores.
+        """
+        self._fencing.add(thread)
+        for handle in self._deferred:
+            if handle.thread == thread and handle.block_mode is None:
+                self._resolve_pending(handle)
+        self._deferred = [h for h in self._deferred if not h.resolved]
+
+    def fence_done(self, sm: int, thread: int) -> bool:
+        """True when the fencing thread has no pending stores or loads."""
+        for entry in self.sm_buffers[sm]:
+            if entry[_E_THREAD] == thread:
+                return False
+        for handle in self._deferred:
+            if handle.thread == thread and not handle.resolved:
+                return False
+        self._fencing.discard(thread)
+        return True
+
+    def drain_thread(self, sm: int, thread: int) -> None:
+        """Synchronously drain one thread's stores in order (barriers)."""
+        buf = self.sm_buffers[sm]
+        keep = []
+        for entry in buf:
+            if entry[_E_THREAD] == thread:
+                self._commit(entry)
+            else:
+                keep.append(entry)
+        buf[:] = keep
+
+    # ------------------------------------------------------------------
+    # the drain pump, called once per engine tick
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance one tick: resolve slow loads, drain store buffers."""
+        self.tick += 1
+        if self._deferred:
+            self._step_deferred()
+        for sm, buf in enumerate(self.sm_buffers):
+            if buf:
+                self._step_buffer(sm, buf)
+
+    def _step_deferred(self) -> None:
+        still = []
+        for handle in self._deferred:
+            if handle.resolved:
+                continue
+            if handle.block_mode is not None:
+                if self._unblocked(handle):
+                    self._resolve_pending(handle)
+                else:
+                    still.append(handle)
+            elif self.rng.random() < self.resolve_p[handle.ch]:
+                self._resolve_pending(handle)
+            else:
+                still.append(handle)
+        self._deferred = still
+
+    def _unblocked(self, handle: DeferredLoad) -> bool:
+        mode, arg = handle.block_mode
+        if mode == "load":
+            return arg.resolved
+        for entry in self.sm_buffers[handle.sm]:
+            if entry[_E_THREAD] != handle.thread:
+                continue
+            if mode == "stores" or entry[_E_CH] == arg:
+                return False
+        return True
+
+    def _step_buffer(self, sm: int, buf: list[list]) -> None:
+        rng = self.rng
+        fencing = self._fencing
+        if fencing:
+            # Priority FIFO drain for fencing threads.
+            for entry in [e for e in buf if e[_E_THREAD] in fencing]:
+                buf.remove(entry)
+                self._commit(entry)
+            if not buf:
+                return
+        horizon = self.tick - _MIN_AGE
+        committed = 0
+        while buf and committed < _DRAIN_WIDTH:
+            head = buf[0]
+            if head[_E_TICK] > horizon:
+                break  # head too young; younger entries behind it too
+            idx = 0
+            if len(buf) > 1:
+                idx = self._maybe_swap(buf, horizon, rng)
+            if idx != 0:
+                # A successful swap *is* the early out-of-order commit;
+                # the overtaken head is parked in the congested queue.
+                entry = buf.pop(idx)
+                buf[0][_E_PARKED] = True
+                self._commit(entry)
+                committed += 1
+                continue
+            entry = buf[0]
+            p = self.drain_p[entry[_E_CH]]
+            if entry[_E_PARKED]:
+                p *= _PARKED_DRAIN
+            if rng.random() < p:
+                del buf[0]
+                self._commit(entry)
+                committed += 1
+            else:
+                break
+
+    def _maybe_swap(
+        self, buf: list[list], horizon: int, rng: np.random.Generator
+    ) -> int:
+        """Index of the entry to drain: 0, or a younger entry that is
+        allowed to overtake the head."""
+        head = buf[0]
+        min_dist = self.profile.store_store_min_distance
+        for j in range(1, len(buf)):
+            cand = buf[j]
+            if cand[_E_TICK] > horizon:
+                break
+            if cand[_E_CH] == head[_E_CH]:
+                if self.profile.store_swap_leak <= 0.0:
+                    continue
+                # Maxwell write-combining leak: rare same-channel swap.
+                if rng.random() < self.profile.store_swap_leak:
+                    if self._oldest_for_addr(buf, j):
+                        self.n_swaps += 1
+                        return j
+                continue
+            if abs(cand[_E_ADDR] - head[_E_ADDR]) < min_dist:
+                continue
+            if rng.random() < self.swap_p[head[_E_CH], cand[_E_CH]]:
+                if self._oldest_for_addr(buf, j):
+                    self.n_swaps += 1
+                    return j
+            return 0
+        return 0
+
+    @staticmethod
+    def _oldest_for_addr(buf: list[list], j: int) -> bool:
+        """Coherence guard: ``buf[j]`` may only overtake if no older entry
+        targets the same address."""
+        addr = buf[j][_E_ADDR]
+        return all(buf[i][_E_ADDR] != addr for i in range(j))
+
+    # ------------------------------------------------------------------
+    # commit / resolve internals
+    # ------------------------------------------------------------------
+    def _commit(self, entry: list) -> None:
+        # Program order within a channel: this thread's earlier deferred
+        # loads of this address *or channel* must resolve before the
+        # store lands (LB-shaped reordering needs distinct channels).
+        self._resolve_matching(entry[_E_THREAD], entry[_E_ADDR], entry[_E_CH])
+        self.mem[entry[_E_ADDR]] = entry[_E_VAL]
+        self.n_drains += 1
+
+    def _resolve_matching(
+        self, thread: int, addr: int, ch: int | None = None
+    ) -> None:
+        if not self._deferred:
+            return
+        for handle in self._deferred:
+            if (
+                not handle.resolved
+                and handle.thread == thread
+                and (handle.addr == addr or (ch is not None and handle.ch == ch))
+            ):
+                self._resolve_pending(handle)
+        self._deferred = [h for h in self._deferred if not h.resolved]
+
+    def _resolve_pending(self, handle: DeferredLoad) -> None:
+        handle.value = self.mem.get(handle.addr, 0)
+        handle.resolved = True
+
+    # ------------------------------------------------------------------
+    # host-side access (kernel launch boundaries; no weak effects)
+    # ------------------------------------------------------------------
+    def host_read(self, buf, idx: int) -> object:
+        """Read committed memory from the host (after a flush)."""
+        return self.mem.get(buf.addr(idx), 0)
+
+    def host_write(self, buf, idx: int, val: object) -> None:
+        """Initialise memory from the host before a launch."""
+        self.mem[buf.addr(idx)] = val
+
+    def host_fill(self, buf, values) -> None:
+        """Bulk host initialisation of a buffer."""
+        for i, val in enumerate(values):
+            self.mem[buf.addr(i)] = val
+
+    # ------------------------------------------------------------------
+    # introspection helpers (tests, debugging)
+    # ------------------------------------------------------------------
+    def pending_stores(self) -> int:
+        """Total stores currently buffered across all SMs."""
+        return sum(len(buf) for buf in self.sm_buffers)
+
+    def flush_all(self) -> None:
+        """Commit every buffered store in FIFO order (end of kernel)."""
+        for buf in self.sm_buffers:
+            for entry in buf:
+                self._commit(entry)
+            buf.clear()
+        for handle in self._deferred:
+            if not handle.resolved:
+                self._resolve_pending(handle)
+        self._deferred = []

@@ -1,0 +1,143 @@
+"""Memory pressure exerted by stressing threads.
+
+The paper's stressing threads hammer scratchpad locations that are
+completely disjoint from the application's data, so their only coupling to
+the application is through contention inside the memory subsystem.  We
+model that coupling directly: a stress configuration is compiled into a
+static per-channel *pressure field* for the duration of one execution
+(stressing runs for at least the whole kernel in the paper, so a constant
+field is the right steady-state picture).
+
+Pressure on a channel raises the drain latency of stores to that channel
+and the probability of cross-channel reordering (see
+:mod:`repro.gpu.memory`).  The number of *hot* channels (pressure above
+the chip's threshold) selects a turbulence multiplier — the mechanism
+behind the paper's finding that stressing exactly two patch-sized regions
+is optimal (Tab. 2, Fig. 4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..chips.profile import HardwareProfile
+
+#: Stressing threads per location at which pressure saturates.
+_THREADS_NORM = 16.0
+#: Cap on per-channel pressure.
+_PRESSURE_CAP = 1.8
+#: Turbulence attainable by diffuse (sub-threshold) pressure.
+_DIFFUSE_FACTOR = 0.15
+
+
+def _intensity(threads_per_location: float) -> float:
+    """Thread-count saturation: beyond ~2 warps per location, extra
+    stressing threads add no pressure (the access sequence's strength is
+    what differentiates configurations, as in the paper's Tab. 3)."""
+    return min(1.0, threads_per_location / _THREADS_NORM)
+
+
+class StressField:
+    """Static per-channel pressure for one execution."""
+
+    def __init__(self, profile: HardwareProfile, press: np.ndarray):
+        if press.shape != (profile.n_channels,):
+            raise ValueError(
+                f"pressure array must have shape ({profile.n_channels},)"
+            )
+        self.profile = profile
+        self.press = np.clip(press, 0.0, _PRESSURE_CAP)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, profile: HardwareProfile) -> "StressField":
+        """No stress (the paper's ``no-str`` environment)."""
+        return cls(profile, np.zeros(profile.n_channels))
+
+    @classmethod
+    def from_locations(
+        cls,
+        profile: HardwareProfile,
+        scratchpad_base: int,
+        locations: Iterable[int],
+        sequence_strength: float,
+        n_stress_threads: int,
+    ) -> "StressField":
+        """Pressure from targeted stressing (the ``sys-str`` shape).
+
+        ``locations`` are word offsets into the scratchpad; the stressing
+        threads are divided evenly between them (paper Sec. 3.4).
+        """
+        locations = list(locations)
+        press = np.zeros(profile.n_channels)
+        if locations and n_stress_threads > 0:
+            per_location = n_stress_threads / len(locations)
+            # Stressing warps share issue bandwidth: every additional
+            # simultaneously stressed region dilutes the pressure each
+            # one exerts (this is what bends the paper's Fig. 4 curves
+            # back down after the optimum).
+            sharing = 1.0 / (1.0 + 0.35 * (len(locations) - 1))
+            boost = sequence_strength * _intensity(per_location) * sharing
+            for loc in locations:
+                press[profile.channel(scratchpad_base + loc)] += boost
+        return cls(profile, press)
+
+    @classmethod
+    def uniform(
+        cls, profile: HardwareProfile, level: float
+    ) -> "StressField":
+        """Equal pressure on every channel (the ``cache-str`` shape).
+
+        An L2-sized scratchpad walked by every stressing block touches
+        every channel at a moderate, even rate.
+        """
+        return cls(profile, np.full(profile.n_channels, level))
+
+    @classmethod
+    def diffuse(
+        cls, profile: HardwareProfile, total: float
+    ) -> "StressField":
+        """Total pressure spread thinly (the ``rand-str`` shape).
+
+        Random single-word accesses scatter over all channels, so no
+        channel individually gets hot.
+        """
+        return cls(
+            profile, np.full(profile.n_channels, total / profile.n_channels)
+        )
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def hot_channels(self) -> int:
+        """Channels whose pressure exceeds the chip threshold."""
+        return int(np.sum(self.press > self.profile.pressure_threshold))
+
+    @property
+    def turbulence(self) -> float:
+        """Reordering multiplier induced by this field (see module doc)."""
+        hot = self.hot_channels
+        if hot > 0:
+            return self.profile.turbulence(hot)
+        total = float(self.press.sum())
+        if total <= 0.0:
+            return 0.0
+        saturation = self.profile.pressure_threshold * self.profile.n_channels
+        return _DIFFUSE_FACTOR * min(1.0, total / saturation)
+
+    def effective(self, ch_primary: int, ch_secondary: int) -> float:
+        """Pressure relevant to reordering an access on ``ch_primary``
+        past one on ``ch_secondary``."""
+        return float(
+            self.press[ch_primary]
+            + self.profile.cross_channel_weight * self.press[ch_secondary]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cells = ", ".join(f"{p:.2f}" for p in self.press)
+        return f"StressField({self.profile.short_name}, [{cells}])"

@@ -1,0 +1,72 @@
+"""Warp scheduler.
+
+Each engine tick the scheduler picks one schedulable unit: a real warp, or
+a *stress placeholder* standing in for a warp of stressing threads.
+Placeholders do no work when picked — their effect on the application is
+the scheduling dilution real stressing blocks cause (their memory traffic
+is modelled separately by the pressure field).
+
+Under thread randomisation the scheduler samples warps non-uniformly from
+weights that are re-drawn periodically, creating bursts in which some
+warps lag far behind others.  This widens race windows — the modelled
+effect of the paper's thread-id randomisation heuristic, which changes
+which warps co-reside and progress together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .warp import Warp
+
+#: Ticks between weight re-draws under randomisation.
+_RESHUFFLE_PERIOD = 64
+
+
+class WarpScheduler:
+    """Randomised warp picker over real warps plus stress placeholders."""
+
+    def __init__(
+        self,
+        warps: list[Warp],
+        n_stress_units: int,
+        rng: np.random.Generator,
+        randomise: bool = False,
+    ):
+        self.warps = warps
+        self.n_stress_units = max(0, n_stress_units)
+        self.rng = rng
+        self.randomise = randomise
+        self._n_units = len(warps) + self.n_stress_units
+        self._weights: np.ndarray | None = None
+        self._ticks_since_shuffle = 0
+        if randomise:
+            self._redraw_weights()
+
+    def _redraw_weights(self) -> None:
+        raw = self.rng.dirichlet(np.full(self._n_units, 0.5))
+        self._weights = raw
+        self._ticks_since_shuffle = 0
+
+    def pick(self) -> Warp | None:
+        """Pick the unit to advance this tick; None = stress placeholder."""
+        if self._n_units == 0:
+            return None
+        if self.randomise:
+            self._ticks_since_shuffle += 1
+            if self._ticks_since_shuffle >= _RESHUFFLE_PERIOD:
+                self._redraw_weights()
+            idx = int(self.rng.choice(self._n_units, p=self._weights))
+        else:
+            idx = int(self.rng.integers(self._n_units))
+        if idx >= len(self.warps):
+            return None
+        warp = self.warps[idx]
+        if not warp.runnable:
+            # Fall back to any runnable warp so ticks are not wasted on
+            # finished warps (keeps runtimes comparable across runs).
+            runnable = [w for w in self.warps if w.runnable]
+            if not runnable:
+                return None
+            warp = runnable[int(self.rng.integers(len(runnable)))]
+        return warp

@@ -1,0 +1,65 @@
+"""Runtime thread and warp structures.
+
+A :class:`SimThread` owns one kernel coroutine plus the small amount of
+state the engine needs to drive it (pending operation, sticky per-op
+scratch, barrier/done flags).  A :class:`Warp` groups threads that advance
+together: when the scheduler picks a warp, every active thread in it
+attempts one operation — the simulator's rendering of SIMT lock-step.
+"""
+
+from __future__ import annotations
+
+from .thread import ThreadContext
+
+
+class SimThread:
+    """One simulated GPU thread."""
+
+    __slots__ = (
+        "key",
+        "ctx",
+        "gen",
+        "op",
+        "op_state",
+        "to_send",
+        "started",
+        "done",
+        "at_barrier",
+        "sleep_until",
+    )
+
+    def __init__(self, key: int, ctx: ThreadContext, gen):
+        self.key = key
+        self.ctx = ctx
+        self.gen = gen
+        self.op: tuple | None = None
+        self.op_state: dict = {}
+        self.to_send: object = None
+        self.started = False
+        self.done = False
+        self.at_barrier = False
+        self.sleep_until = 0
+
+    @property
+    def active(self) -> bool:
+        """Thread can make progress this tick."""
+        return not self.done and not self.at_barrier
+
+
+class Warp:
+    """A set of threads that advance together (lock-step)."""
+
+    __slots__ = ("block_id", "warp_id", "threads")
+
+    def __init__(self, block_id: int, warp_id: int, threads: list[SimThread]):
+        self.block_id = block_id
+        self.warp_id = warp_id
+        self.threads = threads
+
+    @property
+    def finished(self) -> bool:
+        return all(t.done for t in self.threads)
+
+    @property
+    def runnable(self) -> bool:
+        return any(t.active for t in self.threads)

@@ -1,0 +1,17 @@
+"""Program hardening by empirical fence insertion (paper Sec. 5)."""
+
+from .fence_sets import all_fences, split_fences, sorted_sites
+from .insertion import (
+    EmpiricalFenceInserter,
+    InsertionResult,
+    empirical_fence_insertion,
+)
+
+__all__ = [
+    "all_fences",
+    "split_fences",
+    "sorted_sites",
+    "EmpiricalFenceInserter",
+    "InsertionResult",
+    "empirical_fence_insertion",
+]

@@ -1,0 +1,38 @@
+"""Fence-set utilities for empirical fence insertion.
+
+A fence set is a set of *site* labels; the application instrumentation
+executes a device fence after every access whose site is in the set.
+The paper's reduction procedures operate on fences sorted by their
+location in the code, which here is the application's declared site
+order.
+"""
+
+from __future__ import annotations
+
+from ..apps.base import Application
+
+
+def all_fences(app: Application) -> frozenset[str]:
+    """The initial fence set: a fence after every memory access."""
+    return frozenset(app.sites())
+
+
+def sorted_sites(app: Application, fences: frozenset[str]) -> list[str]:
+    """``fences`` in the application's program order (code location)."""
+    order = {site: i for i, site in enumerate(app.sites())}
+    unknown = [f for f in fences if f not in order]
+    if unknown:
+        raise ValueError(
+            f"fences {unknown} are not sites of application {app.name!r}"
+        )
+    return sorted(fences, key=order.__getitem__)
+
+
+def split_fences(
+    app: Application, fences: frozenset[str]
+) -> tuple[frozenset[str], frozenset[str]]:
+    """The paper's ``SplitFences``: first half / second half by code
+    location."""
+    ordered = sorted_sites(app, fences)
+    mid = len(ordered) // 2
+    return frozenset(ordered[:mid]), frozenset(ordered[mid:])

@@ -1,0 +1,171 @@
+"""Empirical fence insertion — the paper's Algorithm 1.
+
+Starting from a fence after every memory access, binary reduction
+repeatedly tries to discard half of the remaining fences, then linear
+reduction tries to discard fences one at a time; each removal is
+accepted when the application shows no errors over ``I`` test-campaign
+iterations under the aggressive ``sys-str+`` environment.  The final
+candidate must pass a full empirical-stability check (the paper's
+one-hour run; here ``Scale.stability_runs`` executions); on failure the
+whole reduction restarts with a doubled iteration count.
+
+The result is a *minimal empirically stable* fence set: removing any
+single fence re-exposes erroneous behaviour under the testing
+environment.  As the paper stresses, this hardens the application but
+proves nothing — CheckApplication is testing, not verification.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..apps.base import Application, run_application
+from ..chips.profile import HardwareProfile
+from ..errors import FenceInsertionError
+from ..rng import derive_seed
+from ..scale import DEFAULT, Scale
+from ..stress.environment import TestingEnvironment
+from ..stress.strategies import TunedStress
+from ..tuning.pipeline import shipped_params
+from .fence_sets import all_fences, split_fences, sorted_sites
+
+
+@dataclass(frozen=True)
+class InsertionResult:
+    """Outcome of empirical fence insertion for one chip/application."""
+
+    chip: str
+    app: str
+    initial_fences: int
+    reduced: frozenset[str]
+    iterations_used: int
+    check_runs: int
+    wall_seconds: float
+    converged: bool
+
+    def table6_row(self) -> dict[str, object]:
+        return {
+            "app": self.app,
+            "init.": self.initial_fences,
+            "red.": len(self.reduced),
+            "time (mins)": round(self.wall_seconds / 60.0, 3),
+        }
+
+
+class EmpiricalFenceInserter:
+    """Algorithm 1, bound to one application and one chip."""
+
+    def __init__(
+        self,
+        app: Application,
+        chip: HardwareProfile,
+        scale: Scale = DEFAULT,
+        seed: int = 0,
+        max_restarts: int = 4,
+    ):
+        self.app = app
+        self.chip = chip
+        self.scale = scale
+        self.seed = seed
+        self.max_restarts = max_restarts
+        self.environment = TestingEnvironment(
+            strategy=TunedStress(shipped_params(chip.short_name)),
+            randomise=True,
+        )
+        self.check_runs = 0
+        self._check_counter = 0
+
+    # -- the paper's CheckApplication / EmpiricallyStable ---------------
+    def check_application(
+        self, fences: frozenset[str], iterations: int
+    ) -> bool:
+        """True when A+F shows no errors over ``iterations`` runs."""
+        for _ in range(iterations):
+            self._check_counter += 1
+            self.check_runs += 1
+            result = run_application(
+                self.app,
+                self.chip,
+                stress_spec=self.environment.strategy,
+                randomise=self.environment.randomise,
+                seed=derive_seed(
+                    self.seed, "check", self.app.name,
+                    self.chip.short_name, self._check_counter,
+                ),
+                fence_sites=fences,
+            )
+            if result.erroneous:
+                return False
+        return True
+
+    def empirically_stable(self, fences: frozenset[str]) -> bool:
+        """The paper's one-hour stability check, at campaign scale."""
+        return self.check_application(fences, self.scale.stability_runs)
+
+    # -- reductions ------------------------------------------------------
+    def binary_reduction(
+        self, fences: frozenset[str], iterations: int
+    ) -> frozenset[str]:
+        while len(fences) > 1:
+            first, second = split_fences(self.app, fences)
+            if first and self.check_application(fences - first, iterations):
+                fences = fences - first
+            elif second and self.check_application(
+                fences - second, iterations
+            ):
+                fences = fences - second
+            else:
+                return fences
+        return fences
+
+    def linear_reduction(
+        self, fences: frozenset[str], iterations: int
+    ) -> frozenset[str]:
+        for fence in sorted_sites(self.app, fences):
+            candidate = fences - {fence}
+            if self.check_application(candidate, iterations):
+                fences = candidate
+        return fences
+
+    # -- Algorithm 1 -------------------------------------------------------
+    def run(self, initial_iterations: int = 32) -> InsertionResult:
+        started = time.perf_counter()
+        initial = all_fences(self.app)
+        iterations = initial_iterations
+        converged = False
+        reduced = initial
+        for _ in range(self.max_restarts):
+            after_binary = self.binary_reduction(initial, iterations)
+            reduced = self.linear_reduction(after_binary, iterations)
+            if self.empirically_stable(reduced):
+                converged = True
+                break
+            iterations *= 2
+        if not converged and self.max_restarts <= 0:
+            raise FenceInsertionError(
+                f"fence insertion for {self.app.name} on "
+                f"{self.chip.short_name} did not converge"
+            )
+        return InsertionResult(
+            chip=self.chip.short_name,
+            app=self.app.name,
+            initial_fences=len(initial),
+            reduced=reduced,
+            iterations_used=iterations,
+            check_runs=self.check_runs,
+            wall_seconds=time.perf_counter() - started,
+            converged=converged,
+        )
+
+
+def empirical_fence_insertion(
+    app: Application,
+    chip: HardwareProfile,
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    initial_iterations: int = 32,
+) -> InsertionResult:
+    """Run Algorithm 1 for one application on one chip."""
+    inserter = EmpiricalFenceInserter(app, chip, scale=scale, seed=seed)
+    return inserter.run(initial_iterations=initial_iterations)

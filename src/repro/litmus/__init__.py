@@ -1,0 +1,24 @@
+"""Litmus tests and their runner (paper Sec. 2 and Sec. 3.1).
+
+The paper tunes its memory stress against the three classic weak-memory
+litmus tests — message passing (MP), load buffering (LB) and store
+buffering (SB) — configured with the two communication locations in
+global memory and the two communicating threads in distinct blocks.
+"""
+
+from .tests import LB, MP, SB, ALL_TESTS, LitmusTest, get_test
+from .runner import LitmusInstance, run_litmus
+from .results import LitmusResult, Tally
+
+__all__ = [
+    "MP",
+    "LB",
+    "SB",
+    "ALL_TESTS",
+    "LitmusTest",
+    "get_test",
+    "LitmusInstance",
+    "run_litmus",
+    "LitmusResult",
+    "Tally",
+]

@@ -1,0 +1,204 @@
+"""Fast litmus-test runner.
+
+Litmus tests are two scripted threads of a handful of memory operations,
+so they bypass the full SIMT engine and drive the
+:class:`~repro.gpu.memory.MemorySystem` directly — the memory semantics
+(and hence the observable weak behaviours) are identical, but millions of
+executions become feasible, which the tuning pipeline needs (the paper
+ran nearly half a billion).
+
+Loads use the deferred issue/resolve API: a litmus test only inspects its
+registers after the run, exactly like the paper's generated CUDA tests,
+which is what allows LB-shaped reordering to be observed.
+
+The two threads are placed on distinct SMs (the paper configures the
+communicating threads in distinct blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..chips.profile import HardwareProfile
+from ..gpu.addresses import AddressSpace
+from ..gpu.memory import MemorySystem
+from ..gpu.pressure import StressField
+from ..rng import make_rng
+from .results import LitmusResult
+from .tests import LitmusTest
+
+#: Word span reserved for the communication locations.
+_COMM_SPAN = 512
+#: Per-scheduling-slot probability that a thread issues its next op.
+_EXEC_P = 0.7
+#: Tick budgets for the issue and drain phases of one round.
+_ISSUE_TICKS = 400
+_DRAIN_TICKS = 400
+#: Maximum random start stagger between the two threads, in ticks.
+_MAX_START_DELAY = 24
+#: Litmus rounds per execution.  A real GPU litmus kernel launch tests
+#: many independent instances at once; an execution is counted weak when
+#: any of its rounds exhibits the weak outcome.
+_ROUNDS = 8
+
+
+@dataclass(frozen=True)
+class LitmusInstance:
+    """A litmus test at a concrete distance, as laid out in memory.
+
+    ``x`` sits at the base of the communication area; ``y`` sits
+    ``max(distance, 1)`` words above it (distance 0 means contiguous
+    locations, per the paper's T_d notation).
+    """
+
+    test: LitmusTest
+    distance: int
+    x_addr: int
+    y_addr: int
+    scratch_base: int
+    scratch_size: int
+
+    @classmethod
+    def layout(
+        cls,
+        profile: HardwareProfile,
+        test: LitmusTest,
+        distance: int,
+        scratch_size: int = 4096,
+    ) -> "LitmusInstance":
+        """Allocate the communication area and the stressing scratchpad.
+
+        The scratchpad is aligned to a full channel period so scratchpad
+        offset ``l`` always lands in channel ``profile.channel(l)`` —
+        mirroring the stable (but uncontrollable) physical layout on real
+        hardware.
+        """
+        if distance < 0:
+            raise ValueError("distance must be non-negative")
+        period = profile.patch_size * profile.n_channels
+        space = AddressSpace()
+        comm = space.alloc("comm", max(_COMM_SPAN, distance + 2), align=period)
+        scratch = space.alloc("scratch", scratch_size, align=period)
+        return cls(
+            test=test,
+            distance=distance,
+            x_addr=comm.base,
+            y_addr=comm.base + max(distance, 1),
+            scratch_base=scratch.base,
+            scratch_size=scratch.size,
+        )
+
+    def addr(self, loc: str) -> int:
+        return self.x_addr if loc == "x" else self.y_addr
+
+
+def _one_round(
+    instance: LitmusInstance,
+    mem: MemorySystem,
+    sms: list[int],
+    exec_p: tuple[float, float],
+    rng: np.random.Generator,
+) -> bool:
+    """Run one litmus round; returns True on the weak outcome."""
+    mem.mem[instance.x_addr] = 0
+    mem.mem[instance.y_addr] = 0
+    programs = (instance.test.thread0, instance.test.thread1)
+
+    # Random start stagger: on hardware the two threads rarely hit their
+    # critical instructions at the same instant; the stagger is what
+    # lets one thread's reads land inside the other's reorder window.
+    delays = rng.integers(0, _MAX_START_DELAY, size=2)
+    pcs = [0, 0]
+    handles: dict[str, object] = {}
+    for tick in range(_ISSUE_TICKS):
+        if pcs[0] >= len(programs[0]) and pcs[1] >= len(programs[1]):
+            break
+        for t in (0, 1):
+            program = programs[t]
+            if pcs[t] >= len(program):
+                continue
+            if tick < delays[t]:
+                continue
+            if rng.random() >= exec_p[t]:
+                continue
+            ins = program[pcs[t]]
+            if ins[0] == "st":
+                if mem.write(sms[t], t, instance.addr(ins[1]), ins[2]):
+                    pcs[t] += 1
+            else:  # ld
+                handles[ins[2]] = mem.issue_load(
+                    sms[t], t, instance.addr(ins[1])
+                )
+                pcs[t] += 1
+        mem.step()
+
+    for _ in range(_DRAIN_TICKS):
+        if mem.pending_stores() == 0 and all(
+            h.resolved for h in handles.values()
+        ):
+            break
+        mem.step()
+    mem.flush_all()
+
+    regs = {name: handle.value for name, handle in handles.items()}
+    return bool(instance.test.weak(regs))
+
+
+def _one_execution(
+    profile: HardwareProfile,
+    instance: LitmusInstance,
+    field: StressField,
+    rng: np.random.Generator,
+    randomise: bool,
+    rounds: int = _ROUNDS,
+) -> bool:
+    """Run one execution (a batch of rounds, like one kernel launch)."""
+    mem = MemorySystem(profile, field, rng)
+    sms = [0, 1]
+    if randomise and rng.random() < 0.5:
+        sms = [1, 0]
+    if randomise:
+        exec_p = (rng.uniform(0.35, 0.95), rng.uniform(0.35, 0.95))
+    else:
+        exec_p = (_EXEC_P, _EXEC_P)
+    return any(
+        _one_round(instance, mem, sms, exec_p, rng) for _ in range(rounds)
+    )
+
+
+def run_litmus(
+    profile: HardwareProfile,
+    test: LitmusTest,
+    distance: int,
+    stress_spec,
+    executions: int,
+    seed: int = 0,
+    randomise: bool = False,
+) -> LitmusResult:
+    """Run ``executions`` runs of test instance ``T_distance``.
+
+    ``stress_spec`` must provide
+    ``build(profile, scratch_base, scratch_size, rng) -> StressField``
+    (see :mod:`repro.stress.strategies`); it is re-invoked per execution
+    so that randomised choices (stressing thread count, random spread
+    locations) vary between runs as in the paper.
+    """
+    instance = LitmusInstance.layout(profile, test, distance)
+    weak = 0
+    for i in range(executions):
+        rng = make_rng(seed, profile.short_name, test.name, distance, i)
+        field = stress_spec.build(
+            profile, instance.scratch_base, instance.scratch_size, rng
+        )
+        if _one_execution(profile, instance, field, rng, randomise):
+            weak += 1
+    locations = tuple(getattr(stress_spec, "locations", ()) or ())
+    return LitmusResult(
+        test=test.name,
+        distance=distance,
+        weak=weak,
+        executions=executions,
+        location=locations,
+    )

@@ -1,0 +1,88 @@
+"""The MP, LB and SB litmus tests (paper Fig. 2).
+
+A litmus test is two short thread programs over communication locations
+``x`` and ``y`` plus a query over the final register state.  Instructions
+are tuples:
+
+* ``("st", loc, value)`` — store ``value`` to ``loc`` (``"x"`` or ``"y"``)
+* ``("ld", loc, reg)`` — load ``loc`` into register ``reg``
+
+The *weak* outcome is the register valuation forbidden under sequential
+consistency but observable on machines with weak memory models.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+Instruction = tuple
+Program = tuple[Instruction, ...]
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A two-thread litmus test with a weak-outcome predicate."""
+
+    name: str
+    description: str
+    thread0: Program
+    thread1: Program
+    weak: Callable[[dict[str, int]], bool]
+
+    @property
+    def registers(self) -> tuple[str, ...]:
+        regs = []
+        for program in (self.thread0, self.thread1):
+            for ins in program:
+                if ins[0] == "ld":
+                    regs.append(ins[2])
+        return tuple(regs)
+
+
+MP = LitmusTest(
+    name="MP",
+    description=(
+        "Message passing: T1 writes data x then flag y; T2 reads flag "
+        "then data.  Weak: flag observed set but data stale."
+    ),
+    thread0=(("st", "x", 1), ("st", "y", 1)),
+    thread1=(("ld", "y", "r1"), ("ld", "x", "r2")),
+    weak=lambda regs: regs["r1"] == 1 and regs["r2"] == 0,
+)
+
+LB = LitmusTest(
+    name="LB",
+    description=(
+        "Load buffering: each thread loads one location then stores the "
+        "other.  Weak: both loads observe the other thread's store."
+    ),
+    thread0=(("ld", "x", "r1"), ("st", "y", 1)),
+    thread1=(("ld", "y", "r2"), ("st", "x", 1)),
+    weak=lambda regs: regs["r1"] == 1 and regs["r2"] == 1,
+)
+
+SB = LitmusTest(
+    name="SB",
+    description=(
+        "Store buffering: each thread stores one location then loads the "
+        "other.  Weak: both loads miss the other thread's store."
+    ),
+    thread0=(("st", "x", 1), ("ld", "y", "r1")),
+    thread1=(("st", "y", 1), ("ld", "x", "r2")),
+    weak=lambda regs: regs["r1"] == 0 and regs["r2"] == 0,
+)
+
+ALL_TESTS = (MP, LB, SB)
+
+_BY_NAME = {t.name: t for t in ALL_TESTS}
+
+
+def get_test(name: str) -> LitmusTest:
+    """Look up MP, LB or SB by name."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown litmus test {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None

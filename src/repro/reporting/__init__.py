@@ -1,0 +1,13 @@
+"""Rendering and per-experiment regeneration harness."""
+
+from .tables import render_table
+from .figures import render_bars, render_series
+from .experiments import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "render_table",
+    "render_bars",
+    "render_series",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,268 @@
+"""Per-experiment regeneration harness.
+
+Each experiment id (table/figure of the paper) maps to a function that
+reruns the experiment at a given scale and returns printable text.  The
+benchmarks under ``benchmarks/`` and the CLI both route through here,
+so every artefact of the paper is regenerable from one entry point:
+
+>>> from repro.reporting.experiments import run_experiment
+>>> print(run_experiment("table1"))              # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from ..apps.registry import all_applications, table4_rows
+from ..chips.registry import all_chips, get_chip, table1_rows
+from ..costs.report import figure5_points, overhead_summary
+from ..hardening.insertion import empirical_fence_insertion
+from ..litmus.tests import ALL_TESTS
+from ..scale import DEFAULT, Scale, get_scale
+from ..stress.environment import ENVIRONMENT_ORDER
+from ..stress.sequences import format_sequence
+from ..testing.campaign import run_campaign
+from ..testing.summary import table5_summary
+from ..tuning.access import score_sequences, select_sequence
+from ..tuning.patches import critical_patch_size, scan_patches
+from ..tuning.pipeline import shipped_params, tune_chip
+from ..tuning.spread import score_spreads
+from .figures import render_bars, render_series
+from .tables import render_table
+
+
+def table1(scale: Scale = DEFAULT, seed: int = 0) -> str:
+    """Table 1: the seven studied GPUs."""
+    return render_table(
+        table1_rows(), title="Table 1: the seven Nvidia GPUs we study"
+    )
+
+
+def figure3(
+    scale: Scale = DEFAULT, seed: int = 0, chips: tuple[str, ...] = ("Titan", "C2075", "980")
+) -> str:
+    """Figure 3: patch finding bar strips for MP and LB."""
+    out = []
+    for name in chips:
+        chip = get_chip(name)
+        scan = scan_patches(chip, scale, seed)
+        patch, _per_test = critical_patch_size(scan)
+        out.append(
+            f"Figure 3 ({chip.name}): critical patch size {patch} "
+            f"(truth: hidden hardware parameter)"
+        )
+        shown = [d for d in scan.distances if d in
+                 (0, chip.patch_size, 2 * chip.patch_size)] or \
+            list(scan.distances[:3])
+        for test in ("MP", "LB"):
+            for d in shown:
+                out.append(
+                    render_bars(scan.row(test, d), label=f"{test} d={d}")
+                )
+        out.append("")
+    return "\n".join(out)
+
+
+def table2(
+    scale: Scale = DEFAULT, seed: int = 0, chips: tuple[str, ...] | None = None
+) -> str:
+    """Table 2: tuned stressing parameters per chip (full pipeline)."""
+    rows = []
+    names = chips if chips is not None else tuple(
+        c.short_name for c in all_chips()
+    )
+    for name in names:
+        result = tune_chip(get_chip(name), scale, seed)
+        row = result.table2_row()
+        truth = shipped_params(name)
+        row["matches paper"] = (
+            "yes"
+            if (
+                result.config.patch_size == truth.patch_size
+                and result.config.sequence == truth.sequence
+                and result.config.spread == truth.spread
+            )
+            else "no"
+        )
+        rows.append(row)
+    return render_table(
+        rows, title="Table 2: stressing parameters discovered per chip"
+    )
+
+
+def table3(scale: Scale = DEFAULT, seed: int = 0, chip: str = "Titan") -> str:
+    """Table 3: access-sequence ranking snippet for Titan."""
+    profile = get_chip(chip)
+    scores = score_sequences(profile, profile.patch_size, scale, seed)
+    best = select_sequence(scores)
+    out = [
+        f"Table 3: snippet of sigmas and scores for {chip} "
+        f"(selected: {format_sequence(best)})"
+    ]
+    for test, rows in scores.table3_rows().items():
+        out.append(render_table(rows, title=f"-- {test} --"))
+    return "\n".join(out)
+
+
+def figure4(
+    scale: Scale = DEFAULT, seed: int = 0, chips: tuple[str, ...] = ("980", "K20")
+) -> str:
+    """Figure 4: spread-finding score curves."""
+    out = []
+    for name in chips:
+        chip = get_chip(name)
+        scores = score_spreads(
+            chip, chip.patch_size, chip.best_sequence, scale, seed
+        )
+        series = {
+            test.name: [
+                (float(m), float(s))
+                for m, s in scores.series(test.name)
+            ]
+            for test in ALL_TESTS
+        }
+        out.append(
+            render_series(
+                series,
+                title=f"Figure 4 ({chip.name}): score vs spread",
+                x_label="spread",
+                y_label="weak behaviours observed",
+            )
+        )
+        out.append("")
+    return "\n".join(out)
+
+
+def table4(scale: Scale = DEFAULT, seed: int = 0) -> str:
+    """Table 4: the application case studies."""
+    return render_table(
+        table4_rows(), title="Table 4: the case studies we consider"
+    )
+
+
+def table5(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    chips: tuple[str, ...] | None = None,
+    environments: tuple[str, ...] | None = None,
+) -> str:
+    """Table 5: testing-environment effectiveness grid."""
+    chip_objs = [
+        get_chip(c)
+        for c in (chips or tuple(c.short_name for c in all_chips()))
+    ]
+    env_names = list(environments or ENVIRONMENT_ORDER)
+    cells = run_campaign(
+        chip_objs, environments=env_names, scale=scale, seed=seed
+    )
+    table = table5_summary(cells)
+    rows = []
+    for chip in chip_objs:
+        row: dict[str, object] = {"chip": chip.short_name}
+        for env in env_names:
+            cell = table.get((chip.short_name, env))
+            row[env] = str(cell) if cell else "-"
+        rows.append(row)
+    return render_table(
+        rows,
+        title=(
+            "Table 5: effective/observed application counts per "
+            "environment"
+        ),
+    )
+
+
+def table6(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    chip: str = "Titan",
+    apps: tuple[str, ...] | None = None,
+) -> str:
+    """Table 6: empirical fence insertion results."""
+    from ..apps.registry import fence_free_applications, get_application
+
+    targets = (
+        [get_application(a) for a in apps]
+        if apps
+        else fence_free_applications()
+    )
+    rows = []
+    for app in targets:
+        result = empirical_fence_insertion(
+            app, get_chip(chip), scale=scale, seed=seed
+        )
+        row = result.table6_row()
+        row["reduced fences"] = ", ".join(sorted(result.reduced))
+        rows.append(row)
+    return render_table(
+        rows, title=f"Table 6: empirical fence insertion on {chip}"
+    )
+
+
+def figure5(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    chips: tuple[str, ...] | None = None,
+) -> str:
+    """Figure 5: fence cost scatter data and overhead summary."""
+    chip_objs = [
+        get_chip(c)
+        for c in (chips or tuple(c.short_name for c in all_chips()))
+    ]
+    apps = [a for a in all_applications() if not a.name.endswith("-nf")]
+    points = figure5_points(apps, chip_objs, runs=max(5, scale.campaign_runs // 4), seed=seed)
+    rows = []
+    for p in points:
+        rows.append(
+            {
+                "chip": p.chip,
+                "app": p.app,
+                "strategy": p.strategy.value,
+                "no-fence ms": round(p.baseline_runtime_ms, 3),
+                "fenced ms": round(p.fenced_runtime_ms, 3),
+                "runtime +%": round(p.runtime_overhead_pct, 1),
+                "no-fence J": (
+                    round(p.baseline_energy_j, 3)
+                    if p.baseline_energy_j is not None
+                    else "-"
+                ),
+                "fenced J": (
+                    round(p.fenced_energy_j, 3)
+                    if p.fenced_energy_j is not None
+                    else "-"
+                ),
+            }
+        )
+    out = [render_table(rows, title="Figure 5: cost of fences (points)")]
+    summary_rows = [
+        {"strategy": strategy, **{k: round(v, 1) for k, v in s.items()}}
+        for strategy, s in overhead_summary(points).items()
+    ]
+    out.append(render_table(summary_rows, title="Overhead summary"))
+    return "\n".join(out)
+
+
+EXPERIMENTS = {
+    "table1": table1,
+    "fig3": figure3,
+    "table2": table2,
+    "table3": table3,
+    "fig4": figure4,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "fig5": figure5,
+}
+
+
+def run_experiment(
+    name: str, scale: str | Scale = "smoke", seed: int = 0, **kwargs
+) -> str:
+    """Regenerate one paper artefact by id (see ``EXPERIMENTS``)."""
+    if isinstance(scale, str):
+        scale = get_scale(scale)
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(scale=scale, seed=seed, **kwargs)

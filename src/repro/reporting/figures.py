@@ -1,0 +1,57 @@
+"""ASCII figure rendering (bar rows for Fig. 3, series for Figs. 4-5)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def render_bars(
+    values: Sequence[int | float],
+    label: str = "",
+    width_per_cell: int = 1,
+) -> str:
+    """One row of vertical-bar glyphs, scaled to the row maximum.
+
+    This is the textual analogue of one (test, distance) strip of the
+    paper's Fig. 3: one glyph per stressed scratchpad location.
+    """
+    peak = max(values) if values else 0
+    if peak <= 0:
+        body = " " * (len(values) * width_per_cell)
+    else:
+        cells = []
+        for v in values:
+            idx = 0 if v <= 0 else 1 + int((len(_BLOCKS) - 2) * v / peak)
+            cells.append(_BLOCKS[idx] * width_per_cell)
+        body = "".join(cells)
+    return f"{label:>12s} |{body}| peak={peak}"
+
+
+def render_series(
+    series: dict[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as aligned columns (Fig. 4/5 data)."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label:>8s}  " + "  ".join(
+        f"{name:>10s}" for name in series
+    ))
+    xs = sorted({x for pts in series.values() for x, _y in pts})
+    lookup = {
+        name: {x: y for x, y in pts} for name, pts in series.items()
+    }
+    for x in xs:
+        cells = []
+        for name in series:
+            y = lookup[name].get(x)
+            cells.append(f"{y:>10.6g}" if y is not None else " " * 10)
+        lines.append(f"{x:>8g}  " + "  ".join(cells))
+    if y_label:
+        lines.append(f"(y: {y_label})")
+    return "\n".join(lines)

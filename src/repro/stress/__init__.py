@@ -1,0 +1,34 @@
+"""Memory stressing strategies and testing environments (paper Sec. 3-4).
+
+The paper compares four stressing strategies — the systematically tuned
+``sys-str``, random ``rand-str``, L2-sized ``cache-str`` and native
+``no-str`` — each with thread randomisation on (``+``) or off (``-``),
+for eight testing environments in total.
+"""
+
+from .config import StressConfig
+from .sequences import all_sequences, format_sequence, parse_sequence
+from .strategies import (
+    CacheStress,
+    FixedLocationStress,
+    NoStress,
+    RandomStress,
+    TunedStress,
+)
+from .randomisation import randomise_thread_ids
+from .environment import TestingEnvironment, standard_environments
+
+__all__ = [
+    "StressConfig",
+    "all_sequences",
+    "format_sequence",
+    "parse_sequence",
+    "CacheStress",
+    "FixedLocationStress",
+    "NoStress",
+    "RandomStress",
+    "TunedStress",
+    "randomise_thread_ids",
+    "TestingEnvironment",
+    "standard_environments",
+]

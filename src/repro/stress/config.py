@@ -1,0 +1,51 @@
+"""Tuned stressing parameters — a row of the paper's Table 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .sequences import format_sequence
+
+
+@dataclass(frozen=True)
+class StressConfig:
+    """Per-chip stressing parameters found by the tuning pipeline.
+
+    * ``patch_size`` — the chip's critical patch size, in words.
+    * ``sequence`` — the most effective access sequence.
+    * ``spread`` — how many critical-patch-sized regions to stress
+      simultaneously.
+    * ``scratch_regions`` — regions available in the scratchpad (the
+      paper's ``M``); the spread locations are sampled from these.
+    """
+
+    chip: str
+    patch_size: int
+    sequence: tuple[str, ...]
+    spread: int
+    scratch_regions: int = 64
+
+    def __post_init__(self) -> None:
+        if self.patch_size <= 0:
+            raise ValueError("patch_size must be positive")
+        if not 1 <= self.spread <= self.scratch_regions:
+            raise ValueError("spread must be in [1, scratch_regions]")
+
+    @property
+    def sequence_notation(self) -> str:
+        """Run-length notation used by the paper (e.g. ``ld st2 ld``)."""
+        return format_sequence(self.sequence)
+
+    @property
+    def scratch_words(self) -> int:
+        """Scratchpad size implied by the region count."""
+        return self.patch_size * self.scratch_regions
+
+    def table2_row(self) -> dict[str, object]:
+        """This configuration as a row of the paper's Table 2."""
+        return {
+            "chip": self.chip,
+            "c. patch size": self.patch_size,
+            "sequence": self.sequence_notation,
+            "spread": self.spread,
+        }

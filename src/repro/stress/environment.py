@@ -1,0 +1,63 @@
+"""Testing environments: stressing strategy × thread randomisation.
+
+The paper's Sec. 4.2 evaluates eight environments per chip —
+``{no, sys, rand, cache}-str`` × ``{+, -}`` (thread randomisation on or
+off).  ``sys-str`` needs the chip's tuned parameters (Table 2), supplied
+as a :class:`~repro.stress.config.StressConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import StressConfig
+from .strategies import CacheStress, NoStress, RandomStress, TunedStress
+
+
+@dataclass(frozen=True)
+class TestingEnvironment:
+    """One cell of the paper's environment grid (e.g. ``sys-str+``)."""
+
+    strategy: object
+    randomise: bool
+
+    @property
+    def name(self) -> str:
+        return f"{self.strategy.name}{'+' if self.randomise else '-'}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: Environment order used in the paper's Table 5 columns.
+ENVIRONMENT_ORDER = (
+    "no-str-",
+    "no-str+",
+    "sys-str-",
+    "sys-str+",
+    "rand-str-",
+    "rand-str+",
+    "cache-str-",
+    "cache-str+",
+)
+
+
+def standard_environments(
+    tuned: StressConfig,
+) -> list[TestingEnvironment]:
+    """The eight testing environments, in Table 5 column order."""
+    strategies = {
+        "no-str": NoStress(),
+        "sys-str": TunedStress(tuned),
+        "rand-str": RandomStress(),
+        "cache-str": CacheStress(),
+    }
+    envs = []
+    for name in ENVIRONMENT_ORDER:
+        base, sign = name[:-1], name[-1]
+        envs.append(
+            TestingEnvironment(
+                strategy=strategies[base], randomise=(sign == "+")
+            )
+        )
+    return envs

@@ -1,0 +1,86 @@
+"""Thread randomisation (paper Sec. 3.5).
+
+GPU thread ids are randomised subject to the GPU programming model:
+
+* block membership is respected — threads sharing a block before
+  randomisation share a (possibly different) block afterwards, which is
+  required for barriers to stay well defined; and
+* warp membership is respected — co-warp threads stay co-warp, since
+  applications may exploit implicit intra-warp synchronisation.
+
+:func:`randomise_thread_ids` produces the id permutation; the engine
+realises its scheduling consequences by shuffling block-to-SM placement
+and de-synchronising warp progress (see
+:mod:`repro.gpu.scheduler`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def randomise_thread_ids(
+    grid_dim: int,
+    block_dim: int,
+    warp_size: int,
+    rng: np.random.Generator,
+) -> list[int]:
+    """Permutation of global thread ids respecting warps and blocks.
+
+    Returns ``perm`` with ``perm[old_gid] = new_gid``.  The permutation
+    composes three legal shuffles: blocks within the grid, warps within
+    each block, and lanes within each warp.
+    """
+    if grid_dim <= 0 or block_dim <= 0 or warp_size <= 0:
+        raise ValueError("grid, block and warp sizes must be positive")
+    warps_per_block = -(-block_dim // warp_size)
+
+    block_perm = rng.permutation(grid_dim)
+    perm = [0] * (grid_dim * block_dim)
+    # Only full warps are interchangeable; a short tail warp (when
+    # block_dim is not a multiple of warp_size) keeps its position.
+    n_full = block_dim // warp_size
+    for old_block in range(grid_dim):
+        new_block = int(block_perm[old_block])
+        full_perm = rng.permutation(n_full) if n_full else []
+        for old_warp in range(warps_per_block):
+            if old_warp < n_full:
+                new_warp = int(full_perm[old_warp])
+            else:
+                new_warp = old_warp
+            lo = old_warp * warp_size
+            hi = min(lo + warp_size, block_dim)
+            lanes = rng.permutation(hi - lo)
+            for i, old_lane in enumerate(range(lo, hi)):
+                new_lane = new_warp * warp_size + int(lanes[i])
+                old_gid = old_block * block_dim + old_lane
+                perm[old_gid] = new_block * block_dim + new_lane
+    return perm
+
+
+def respects_blocks(
+    perm: list[int], grid_dim: int, block_dim: int
+) -> bool:
+    """Check the block-membership constraint of a permutation."""
+    for block in range(grid_dim):
+        gids = range(block * block_dim, (block + 1) * block_dim)
+        targets = {perm[g] // block_dim for g in gids}
+        if len(targets) != 1:
+            return False
+    return True
+
+
+def respects_warps(
+    perm: list[int], grid_dim: int, block_dim: int, warp_size: int
+) -> bool:
+    """Check the warp-membership constraint of a permutation."""
+    for block in range(grid_dim):
+        warps_per_block = -(-block_dim // warp_size)
+        for warp in range(warps_per_block):
+            lo = warp * warp_size
+            hi = min(lo + warp_size, block_dim)
+            gids = [block * block_dim + t for t in range(lo, hi)]
+            targets = {(perm[g] % block_dim) // warp_size for g in gids}
+            if len(targets) != 1:
+                return False
+    return True

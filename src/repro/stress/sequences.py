@@ -1,0 +1,56 @@
+"""Access sequences for stressing threads (paper Sec. 3.3).
+
+An access sequence is a non-empty word over ``{ld, st}`` executed in the
+stressing threads' loop body.  The paper writes them with run-length
+notation — e.g. ``ld st2 ld`` for ``(ld, st, st, ld)`` — and enumerates
+every sequence up to length ``N`` (63 for N = 5 including both orders of
+every multiset; rotationally equivalent sequences are deliberately kept
+distinct, since the paper found they can behave differently).
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+
+from ..errors import InvalidSequenceError
+from ..chips.profile import ACCESS_KINDS
+
+_TOKEN_RE = re.compile(r"^(ld|st)(\d*)$")
+
+
+def all_sequences(max_length: int) -> list[tuple[str, ...]]:
+    """Every access sequence of length 1..max_length, in order."""
+    if max_length < 1:
+        raise InvalidSequenceError("max_length must be at least 1")
+    sequences = []
+    for length in range(1, max_length + 1):
+        sequences.extend(itertools.product(ACCESS_KINDS, repeat=length))
+    return sequences
+
+
+def format_sequence(seq: tuple[str, ...]) -> str:
+    """Run-length notation, e.g. ``('ld','st','st','ld') -> 'ld st2 ld'``."""
+    if not seq:
+        raise InvalidSequenceError("empty access sequence")
+    parts = []
+    for kind, group in itertools.groupby(seq):
+        n = len(list(group))
+        parts.append(kind if n == 1 else f"{kind}{n}")
+    return " ".join(parts)
+
+
+def parse_sequence(text: str) -> tuple[str, ...]:
+    """Inverse of :func:`format_sequence` (``'ld3 st'`` etc.)."""
+    seq: list[str] = []
+    for token in text.split():
+        match = _TOKEN_RE.match(token)
+        if match is None:
+            raise InvalidSequenceError(
+                f"bad token {token!r} in access sequence {text!r}"
+            )
+        kind, count = match.group(1), match.group(2)
+        seq.extend([kind] * (int(count) if count else 1))
+    if not seq:
+        raise InvalidSequenceError(f"empty access sequence {text!r}")
+    return tuple(seq)

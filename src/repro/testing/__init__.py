@@ -1,0 +1,13 @@
+"""Application test campaigns (paper Sec. 4)."""
+
+from .campaign import CampaignCell, run_campaign, run_cell
+from .summary import Table5Cell, table5_summary, EFFECTIVENESS_THRESHOLD
+
+__all__ = [
+    "CampaignCell",
+    "run_campaign",
+    "run_cell",
+    "Table5Cell",
+    "table5_summary",
+    "EFFECTIVENESS_THRESHOLD",
+]

@@ -1,0 +1,95 @@
+"""Campaign runner: chips × applications × testing environments.
+
+The paper executes each (chip, application, environment) combination
+repeatedly for one hour and records erroneous runs.  Here the wall-clock
+budget is replaced by a run count (``Scale.campaign_runs``); the derived
+statistics — error rate and the >5% *effectiveness* threshold — are the
+same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.base import Application, run_application
+from ..apps.registry import all_applications
+from ..chips.profile import HardwareProfile
+from ..rng import derive_seed
+from ..scale import DEFAULT, Scale
+from ..stress.environment import TestingEnvironment, standard_environments
+from ..tuning.pipeline import shipped_params
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """Error statistics for one (chip, application, environment)."""
+
+    chip: str
+    app: str
+    environment: str
+    errors: int
+    timeouts: int
+    runs: int
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.runs if self.runs else 0.0
+
+
+def run_cell(
+    app: Application,
+    chip: HardwareProfile,
+    env: TestingEnvironment,
+    runs: int,
+    seed: int = 0,
+) -> CampaignCell:
+    """Run one campaign cell (one table entry of the raw data)."""
+    errors = 0
+    timeouts = 0
+    for i in range(runs):
+        result = run_application(
+            app,
+            chip,
+            stress_spec=env.strategy,
+            randomise=env.randomise,
+            seed=derive_seed(seed, "campaign", env.name, i),
+        )
+        if result.erroneous:
+            errors += 1
+        if result.timed_out:
+            timeouts += 1
+    return CampaignCell(
+        chip=chip.short_name,
+        app=app.name,
+        environment=env.name,
+        errors=errors,
+        timeouts=timeouts,
+        runs=runs,
+    )
+
+
+def run_campaign(
+    chips: list[HardwareProfile],
+    apps: list[Application] | None = None,
+    environments: list[str] | None = None,
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+) -> list[CampaignCell]:
+    """Run the full Sec. 4 campaign grid.
+
+    ``environments`` filters by name (e.g. ``["sys-str+", "no-str-"]``);
+    None runs all eight.
+    """
+    if apps is None:
+        apps = all_applications()
+    cells = []
+    for chip in chips:
+        envs = standard_environments(shipped_params(chip.short_name))
+        if environments is not None:
+            envs = [e for e in envs if e.name in environments]
+        for app in apps:
+            for env in envs:
+                cells.append(
+                    run_cell(app, chip, env, scale.campaign_runs, seed)
+                )
+    return cells

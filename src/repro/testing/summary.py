@@ -1,0 +1,73 @@
+"""Table 5 summarisation.
+
+The paper's Table 5 reports, per chip and environment, ``a / b``: the
+number of applications for which errors were observed (``b``) and, of
+those, how many crossed the 5% effectiveness threshold (``a``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..stress.environment import ENVIRONMENT_ORDER
+from .campaign import CampaignCell
+
+#: An environment is *effective* for a chip/application when more than
+#: this fraction of executions err (paper Sec. 1 and Sec. 4.3).
+EFFECTIVENESS_THRESHOLD = 0.05
+
+
+@dataclass(frozen=True)
+class Table5Cell:
+    """One chip × environment cell: ``effective / observed`` apps."""
+
+    chip: str
+    environment: str
+    effective: int
+    observed: int
+    observed_apps: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.effective} / {self.observed}"
+
+
+def table5_summary(
+    cells: list[CampaignCell],
+) -> dict[tuple[str, str], Table5Cell]:
+    """Aggregate raw campaign cells into the Table 5 grid."""
+    grouped: dict[tuple[str, str], list[CampaignCell]] = defaultdict(list)
+    for cell in cells:
+        grouped[(cell.chip, cell.environment)].append(cell)
+    table: dict[tuple[str, str], Table5Cell] = {}
+    for (chip, env), group in grouped.items():
+        observed = [c for c in group if c.errors > 0]
+        effective = [
+            c for c in observed if c.error_rate > EFFECTIVENESS_THRESHOLD
+        ]
+        table[(chip, env)] = Table5Cell(
+            chip=chip,
+            environment=env,
+            effective=len(effective),
+            observed=len(observed),
+            observed_apps=tuple(sorted(c.app for c in observed)),
+        )
+    return table
+
+
+def most_capable_environment(
+    table: dict[tuple[str, str], Table5Cell], chip: str
+) -> str:
+    """The environment observing errors in the most applications for a
+    chip (ties broken by effectiveness, then Table 5 column order)."""
+    best = None
+    for env in ENVIRONMENT_ORDER:
+        cell = table.get((chip, env))
+        if cell is None:
+            continue
+        key = (cell.observed, cell.effective)
+        if best is None or key > best[0]:
+            best = (key, env)
+    if best is None:
+        raise ValueError(f"no campaign data for chip {chip!r}")
+    return best[1]

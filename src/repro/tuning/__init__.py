@@ -1,0 +1,36 @@
+"""The per-chip tuning pipeline (paper Sec. 3).
+
+Three stages, each a micro-benchmark campaign over litmus tests:
+
+1. :mod:`repro.tuning.patches` — find the chip's *critical patch size*
+   by stressing each scratchpad location in turn (Sec. 3.2, Fig. 3);
+2. :mod:`repro.tuning.access` — rank stressing access sequences and pick
+   the Pareto-optimal one over MP/LB/SB (Sec. 3.3, Tab. 3);
+3. :mod:`repro.tuning.spread` — pick how many patch-sized regions to
+   stress simultaneously (Sec. 3.4, Fig. 4).
+
+:func:`repro.tuning.pipeline.tune_chip` chains the stages into a Table 2
+row; :func:`repro.tuning.pipeline.shipped_params` returns pre-tuned
+parameters so the campaign layers do not have to re-run the tuning.
+"""
+
+from .patches import PatchScan, critical_patch_size, find_patches, scan_patches
+from .access import SequenceScores, score_sequences, select_sequence
+from .spread import SpreadScores, score_spreads, select_spread
+from .pipeline import TunedResult, shipped_params, tune_chip
+
+__all__ = [
+    "PatchScan",
+    "critical_patch_size",
+    "find_patches",
+    "scan_patches",
+    "SequenceScores",
+    "score_sequences",
+    "select_sequence",
+    "SpreadScores",
+    "score_spreads",
+    "select_spread",
+    "TunedResult",
+    "shipped_params",
+    "tune_chip",
+]

@@ -1,0 +1,136 @@
+"""Access-sequence selection (paper Sec. 3.3, Tab. 3).
+
+Every sequence σ ∈ (ld|st)+ up to length N is scored per litmus test:
+the number of weak behaviours of ⟨T_d, σ@l⟩ summed over all distances d
+and all patch-start locations l (stressing several locations of one
+patch is redundant once the critical patch size is known).
+
+A sequence is *maximally effective* when it is Pareto-optimal over the
+three tests.  Ties are broken by pairwise majority (most effective for
+two of the three tests), then by total score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chips.profile import HardwareProfile
+from ..litmus import ALL_TESTS, run_litmus
+from ..rng import derive_seed
+from ..scale import DEFAULT, Scale
+from ..stress.strategies import FixedLocationStress
+from ..stress.sequences import all_sequences, format_sequence
+
+Sequence = tuple[str, ...]
+
+
+@dataclass
+class SequenceScores:
+    """Per-test scores of every candidate access sequence."""
+
+    chip: str
+    tests: tuple[str, ...]
+    scores: dict[Sequence, dict[str, int]] = field(default_factory=dict)
+
+    def total(self, seq: Sequence) -> int:
+        return sum(self.scores[seq].values())
+
+    def ranking(self, test: str) -> list[tuple[Sequence, int]]:
+        """Sequences ranked by descending score for one test (a Tab. 3
+        column)."""
+        return sorted(
+            ((seq, s[test]) for seq, s in self.scores.items()),
+            key=lambda kv: -kv[1],
+        )
+
+    def table3_rows(self, top: int = 3, bottom: int = 3) -> dict[str, list]:
+        """Top/bottom ranked sequences per test, Tab. 3 style."""
+        out = {}
+        for test in self.tests:
+            ranked = self.ranking(test)
+            rows = [
+                {"rank": i + 1, "sigma": format_sequence(seq), "score": score}
+                for i, (seq, score) in enumerate(ranked)
+            ]
+            out[test] = rows[:top] + rows[-bottom:]
+        return out
+
+
+def score_sequences(
+    chip: HardwareProfile,
+    patch_size: int,
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+) -> SequenceScores:
+    """Score every σ up to the scale's maximum length."""
+    locations = tuple(range(0, scale.max_location, patch_size))
+    distances = tuple(range(0, scale.max_distance, scale.seq_distance_step))
+    scores = SequenceScores(
+        chip=chip.short_name, tests=tuple(t.name for t in ALL_TESTS)
+    )
+    for seq in all_sequences(scale.max_sequence_length):
+        per_test: dict[str, int] = {}
+        for test in ALL_TESTS:
+            weak = 0
+            for d in distances:
+                for l in locations:
+                    spec = FixedLocationStress((l,), seq)
+                    result = run_litmus(
+                        chip,
+                        test,
+                        d,
+                        spec,
+                        scale.seq_executions,
+                        seed=derive_seed(seed, "seq", seq, test.name, d, l),
+                    )
+                    weak += result.weak
+            per_test[test.name] = weak
+        scores.scores[seq] = per_test
+    return scores
+
+
+def pareto_front(scores: SequenceScores) -> list[Sequence]:
+    """Sequences not dominated on all tests by any other sequence."""
+    seqs = list(scores.scores)
+    front = []
+    for a in seqs:
+        dominated = False
+        for b in seqs:
+            if b is a:
+                continue
+            if all(
+                scores.scores[b][t] > scores.scores[a][t]
+                for t in scores.tests
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(a)
+    return front
+
+
+def select_sequence(scores: SequenceScores) -> Sequence:
+    """The maximally effective sequence after tie-breaking.
+
+    From the Pareto front, prefer the sequence that beats each rival on
+    at least two of the three litmus tests (the paper's tie-break); fall
+    back to the highest total score.
+    """
+    front = pareto_front(scores)
+    if len(front) == 1:
+        return front[0]
+
+    def beats(a: Sequence, b: Sequence) -> int:
+        return sum(
+            1
+            for t in scores.tests
+            if scores.scores[a][t] > scores.scores[b][t]
+        )
+
+    majority_winners = [
+        a
+        for a in front
+        if all(beats(a, b) >= 2 for b in front if b is not a)
+    ]
+    candidates = majority_winners or front
+    return max(candidates, key=scores.total)

@@ -1,0 +1,95 @@
+"""Spread finding (paper Sec. 3.4, Fig. 4).
+
+Given the chip's critical patch size P and most effective sequence σ,
+determine how many patch-sized regions to stress simultaneously.  For
+each spread m, run C executions of ⟨T_d, σ@L_m⟩ per test and distance,
+where L_m is a random m-subset of the scratchpad's patch-start
+locations; the score of m is the weak-behaviour total over distances.
+The selected spread is Pareto-optimal over the three litmus tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chips.profile import HardwareProfile
+from ..litmus import ALL_TESTS, run_litmus
+from ..rng import derive_seed
+from ..scale import DEFAULT, Scale
+from ..stress.config import StressConfig
+from ..stress.strategies import TunedStress
+
+
+@dataclass
+class SpreadScores:
+    """Per-test scores for each candidate spread (a Fig. 4 curve)."""
+
+    chip: str
+    tests: tuple[str, ...]
+    scores: dict[int, dict[str, int]] = field(default_factory=dict)
+
+    def series(self, test: str) -> list[tuple[int, int]]:
+        """(spread, score) points for one test."""
+        return [(m, s[test]) for m, s in sorted(self.scores.items())]
+
+    def total(self, m: int) -> int:
+        return sum(self.scores[m].values())
+
+
+def score_spreads(
+    chip: HardwareProfile,
+    patch_size: int,
+    sequence: tuple[str, ...],
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+) -> SpreadScores:
+    """Score each spread 1..M for one chip."""
+    distances = tuple(
+        range(0, scale.max_distance, scale.spread_distance_step)
+    )
+    scores = SpreadScores(
+        chip=chip.short_name, tests=tuple(t.name for t in ALL_TESTS)
+    )
+    for m in range(1, scale.max_spread + 1):
+        config = StressConfig(
+            chip=chip.short_name,
+            patch_size=patch_size,
+            sequence=sequence,
+            spread=m,
+            scratch_regions=scale.max_spread,
+        )
+        spec = TunedStress(config)
+        per_test: dict[str, int] = {}
+        for test in ALL_TESTS:
+            weak = 0
+            for d in distances:
+                result = run_litmus(
+                    chip,
+                    test,
+                    d,
+                    spec,
+                    scale.spread_executions,
+                    seed=derive_seed(seed, "spread", m, test.name, d),
+                )
+                weak += result.weak
+            per_test[test.name] = weak
+        scores.scores[m] = per_test
+    return scores
+
+
+def select_spread(scores: SpreadScores) -> int:
+    """The Pareto-optimal spread (unique in the paper's experiments;
+    total score breaks any tie deterministically)."""
+    spreads = list(scores.scores)
+    front = []
+    for a in spreads:
+        if not any(
+            all(
+                scores.scores[b][t] > scores.scores[a][t]
+                for t in scores.tests
+            )
+            for b in spreads
+            if b != a
+        ):
+            front.append(a)
+    return max(front, key=lambda m: (scores.total(m), -m))

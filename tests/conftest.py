@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chips import SC_REFERENCE, all_chips, get_chip
+from repro.gpu.memory import MemorySystem
+from repro.gpu.pressure import StressField
+
+
+@pytest.fixture
+def k20():
+    return get_chip("K20")
+
+
+@pytest.fixture
+def titan():
+    return get_chip("Titan")
+
+
+@pytest.fixture
+def sc_ref():
+    return SC_REFERENCE
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def quiet_memory(k20, rng):
+    """A memory system with no stress (native conditions)."""
+    return MemorySystem(k20, StressField.zero(k20), rng)
+
+
+@pytest.fixture
+def sc_memory(rng):
+    """A sequentially consistent memory system."""
+    return MemorySystem(SC_REFERENCE, StressField.zero(SC_REFERENCE), rng)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running statistical tests"
+    )
+
+
+ALL_CHIP_NAMES = tuple(c.short_name for c in all_chips())

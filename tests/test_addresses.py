@@ -1,0 +1,86 @@
+"""Tests for the address space and bump allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidAccessError
+from repro.gpu.addresses import AddressSpace, Buffer, CUDA_MALLOC_ALIGN
+
+
+class TestBuffer:
+    def test_addr_offsets_from_base(self):
+        buf = Buffer("b", base=100, size=10)
+        assert buf.addr(0) == 100
+        assert buf.addr(9) == 109
+
+    @pytest.mark.parametrize("idx", [-1, 10, 1000])
+    def test_out_of_bounds_raises(self, idx):
+        with pytest.raises(InvalidAccessError):
+            Buffer("b", base=0, size=10).addr(idx)
+
+    def test_len(self):
+        assert len(Buffer("b", base=0, size=7)) == 7
+
+
+class TestAddressSpace:
+    def test_buffers_do_not_overlap(self):
+        space = AddressSpace()
+        a = space.alloc("a", 10)
+        b = space.alloc("b", 10)
+        assert a.base + a.size <= b.base
+
+    def test_alignment_respected(self):
+        space = AddressSpace()
+        space.alloc("pad", 3)
+        buf = space.alloc("aligned", 8, align=32)
+        assert buf.base % 32 == 0
+
+    def test_default_alignment(self):
+        space = AddressSpace(default_align=CUDA_MALLOC_ALIGN)
+        space.alloc("a", 1)
+        b = space.alloc("b", 1)
+        assert b.base % CUDA_MALLOC_ALIGN == 0
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.alloc("x", 4)
+        with pytest.raises(ValueError):
+            space.alloc("x", 4)
+
+    def test_lookup_by_name(self):
+        space = AddressSpace()
+        buf = space.alloc("x", 4)
+        assert space.buffer("x") is buf
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(InvalidAccessError):
+            AddressSpace().buffer("nope")
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_bad_size_rejected(self, bad):
+        with pytest.raises(ValueError):
+            AddressSpace().alloc("x", bad)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace(offset=-1)
+
+    def test_words_used_grows(self):
+        space = AddressSpace()
+        space.alloc("a", 10)
+        assert space.words_used >= 10
+
+    @given(
+        sizes=st.lists(st.integers(1, 200), min_size=1, max_size=20),
+        align=st.sampled_from([1, 2, 8, 32, 64]),
+    )
+    def test_property_no_overlap_any_alignment(self, sizes, align):
+        space = AddressSpace(default_align=align)
+        buffers = [
+            space.alloc(f"b{i}", size) for i, size in enumerate(sizes)
+        ]
+        spans = sorted((b.base, b.base + b.size) for b in buffers)
+        for (lo1, hi1), (lo2, _hi2) in zip(spans, spans[1:]):
+            assert hi1 <= lo2
+        for b in buffers:
+            assert b.base % align == 0

@@ -1,0 +1,176 @@
+"""Tests for the ten application case studies (paper Table 4)."""
+
+import pytest
+
+from repro.apps import all_applications, get_application, table4_rows
+from repro.apps.base import run_application
+from repro.apps.registry import FENCE_FREE_APPS, fence_free_applications
+from repro.chips import SC_REFERENCE, get_chip
+from repro.errors import UnknownApplicationError
+from repro.hardening.fence_sets import all_fences
+from repro.stress.strategies import TunedStress
+from repro.tuning import shipped_params
+
+APP_NAMES = tuple(a.name for a in all_applications())
+
+
+class TestRegistry:
+    def test_ten_case_studies(self):
+        assert len(all_applications()) == 10
+
+    def test_three_nf_variants(self):
+        nf = [a for a in all_applications() if a.name.endswith("-nf")]
+        assert {a.name for a in nf} == {
+            "sdk-red-nf", "cub-scan-nf", "ls-bh-nf",
+        }
+
+    def test_seven_fence_free(self):
+        assert len(fence_free_applications()) == 7
+        assert set(FENCE_FREE_APPS) == {
+            a.name for a in fence_free_applications()
+        }
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(UnknownApplicationError):
+            get_application("bfs")
+
+    def test_table4_rows_are_the_seven_originals(self):
+        rows = table4_rows()
+        assert len(rows) == 7
+        assert all(not r["short name"].endswith("-nf") for r in rows)
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_metadata_complete(self, name):
+        app = get_application(name)
+        assert app.description
+        assert app.communication
+        assert app.postcondition
+
+    def test_nf_variants_have_no_fences(self):
+        for name in ("sdk-red-nf", "cub-scan-nf", "ls-bh-nf"):
+            assert get_application(name).base_fences == frozenset()
+
+    def test_originals_with_fences(self):
+        assert len(get_application("sdk-red").base_fences) == 1
+        assert len(get_application("cub-scan").base_fences) == 2
+        assert len(get_application("ls-bh").base_fences) == 3
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_required_sites_are_declared_sites(self, name):
+        app = get_application(name)
+        assert app.required_sites() <= set(app.sites())
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_base_fences_are_declared_sites(self, name):
+        app = get_application(name)
+        assert app.base_fences <= set(app.sites())
+
+    def test_ls_bh_shipped_fences_insufficient(self):
+        # Paper: ls-bh errors even with its fences; the required set is
+        # a strict superset of the shipped one.
+        app = get_application("ls-bh")
+        assert app.base_fences < app.required_sites()
+
+    def test_cub_scan_required_matches_shipped(self):
+        # Paper: insertion on cub-scan-nf found exactly the two
+        # provided fences.
+        app = get_application("cub-scan")
+        assert app.required_sites() == app.base_fences
+
+
+class TestSequentialCorrectness:
+    """Every application must satisfy its post-condition on sc-ref:
+    any failure there is a logic bug, not a weak-memory effect."""
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_correct_on_sc_reference(self, name):
+        app = get_application(name)
+        for seed in range(5):
+            run = run_application(app, SC_REFERENCE, seed=seed)
+            assert run.ok, f"{name} failed on sc-ref (seed {seed})"
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_correct_on_sc_with_conservative_fences(self, name):
+        app = get_application(name)
+        run = run_application(
+            app, SC_REFERENCE, seed=1, fence_sites=all_fences(app)
+        )
+        assert run.ok
+
+
+class TestNativeBehaviour:
+    @pytest.mark.parametrize(
+        "name", [n for n in APP_NAMES if n != "cbe-ht"]
+    )
+    def test_native_mostly_clean_on_k20(self, name, k20):
+        app = get_application(name)
+        errors = sum(
+            not run_application(app, k20, seed=s).ok for s in range(10)
+        )
+        assert errors <= 1
+
+
+class TestStressedBehaviour:
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "name",
+        ["cbe-ht", "cbe-dot", "tpo-tm", "ls-bh-nf"],
+    )
+    def test_sys_str_provokes_errors(self, name, k20):
+        app = get_application(name)
+        spec = TunedStress(shipped_params("K20"))
+        errors = sum(
+            not run_application(
+                app, k20, stress_spec=spec, randomise=True, seed=s
+            ).ok
+            for s in range(40)
+        )
+        assert errors > 0, f"{name} never errs under sys-str+"
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", ["sdk-red", "cub-scan"])
+    def test_shipped_fences_suppress_errors(self, name, k20):
+        # Paper Sec. 4.3: no weak behaviour observed for sdk-red and
+        # cub-scan — their fences are sufficient.
+        app = get_application(name)
+        spec = TunedStress(shipped_params("K20"))
+        errors = sum(
+            not run_application(
+                app, k20, stress_spec=spec, randomise=True, seed=s
+            ).ok
+            for s in range(40)
+        )
+        assert errors == 0
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "name", ["cbe-dot", "cbe-ht", "ct-octree", "tpo-tm", "ls-bh-nf"]
+    )
+    def test_required_fences_harden(self, name, k20):
+        app = get_application(name)
+        spec = TunedStress(shipped_params("K20"))
+        fences = app.required_sites() | app.base_fences
+        errors = sum(
+            not run_application(
+                app, k20, stress_spec=spec, randomise=True, seed=s,
+                fence_sites=fences,
+            ).ok
+            for s in range(30)
+        )
+        assert errors == 0
+
+
+class TestRunApplication:
+    def test_returns_app_run(self, k20):
+        run = run_application(get_application("cbe-dot"), k20, seed=0)
+        assert run.ok is True
+        assert run.result.ticks > 0
+        assert not run.timed_out
+
+    def test_erroneous_property_covers_timeout(self):
+        from repro.apps.base import AppRun
+        from repro.gpu.engine import ExecutionResult, Outcome
+
+        result = ExecutionResult(Outcome.TIMEOUT, 1, 0, 0, 0, 0, 0)
+        run = AppRun(ok=False, timed_out=True, result=result)
+        assert run.erroneous

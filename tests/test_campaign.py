@@ -1,0 +1,115 @@
+"""Tests for the campaign runner and Table 5 summary (paper Sec. 4)."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import get_application
+from repro.chips import get_chip
+from repro.scale import SMOKE
+from repro.stress.environment import standard_environments
+from repro.testing import (
+    EFFECTIVENESS_THRESHOLD,
+    run_cell,
+    run_campaign,
+    table5_summary,
+)
+from repro.testing.campaign import CampaignCell
+from repro.testing.summary import most_capable_environment
+from repro.tuning import shipped_params
+
+TINY = dataclasses.replace(SMOKE, campaign_runs=8)
+
+
+def _envs(chip_name):
+    return {
+        e.name: e
+        for e in standard_environments(shipped_params(chip_name))
+    }
+
+
+class TestRunCell:
+    def test_cell_counts_runs(self, k20):
+        env = _envs("K20")["no-str-"]
+        cell = run_cell(get_application("cbe-dot"), k20, env, runs=5,
+                        seed=1)
+        assert cell.runs == 5
+        assert 0 <= cell.errors <= 5
+        assert cell.chip == "K20"
+        assert cell.environment == "no-str-"
+
+    def test_error_rate(self):
+        cell = CampaignCell("K20", "x", "sys-str+", errors=3,
+                            timeouts=0, runs=10)
+        assert cell.error_rate == pytest.approx(0.3)
+
+    @pytest.mark.slow
+    def test_sys_str_beats_native_on_cbe_dot(self, k20):
+        envs = _envs("K20")
+        app = get_application("cbe-dot")
+        native = run_cell(app, k20, envs["no-str-"], runs=25, seed=2)
+        stressed = run_cell(app, k20, envs["sys-str+"], runs=25, seed=2)
+        assert stressed.errors > native.errors
+
+
+class TestSummary:
+    def _cells(self):
+        return [
+            CampaignCell("K20", "a1", "sys-str+", 10, 0, 20),
+            CampaignCell("K20", "a2", "sys-str+", 1, 0, 20),
+            CampaignCell("K20", "a3", "sys-str+", 0, 0, 20),
+            CampaignCell("K20", "a1", "no-str-", 0, 0, 20),
+            CampaignCell("K20", "a2", "no-str-", 0, 0, 20),
+            CampaignCell("K20", "a3", "no-str-", 0, 0, 20),
+        ]
+
+    def test_observed_and_effective_counts(self):
+        table = table5_summary(self._cells())
+        cell = table[("K20", "sys-str+")]
+        assert cell.observed == 2       # a1 and a2 err
+        assert cell.effective == 1      # only a1 crosses 5%
+        assert str(cell) == "1 / 2"
+        assert cell.observed_apps == ("a1", "a2")
+
+    def test_threshold_is_strict(self):
+        cells = [CampaignCell("K20", "a", "sys-str+", 1, 0, 20)]
+        table = table5_summary(cells)
+        assert table[("K20", "sys-str+")].effective == 0
+        assert 1 / 20 == EFFECTIVENESS_THRESHOLD
+
+    def test_most_capable_environment(self):
+        table = table5_summary(self._cells())
+        assert most_capable_environment(table, "K20") == "sys-str+"
+
+    def test_most_capable_requires_data(self):
+        with pytest.raises(ValueError):
+            most_capable_environment({}, "K20")
+
+
+class TestCampaignGrid:
+    @pytest.mark.slow
+    def test_small_grid_shape(self, k20):
+        apps = [get_application("cbe-dot"), get_application("cbe-ht")]
+        cells = run_campaign(
+            [k20], apps=apps, environments=["no-str-", "sys-str+"],
+            scale=TINY, seed=3,
+        )
+        assert len(cells) == 4
+        combos = {(c.app, c.environment) for c in cells}
+        assert ("cbe-dot", "sys-str+") in combos
+
+    @pytest.mark.slow
+    def test_sys_str_dominates_straightforward_stress(self, k20):
+        # Paper Sec. 4.3: sys-str environments are always more capable
+        # than the straightforward strategies.
+        apps = [get_application(n) for n in
+                ("cbe-ht", "cbe-dot", "tpo-tm")]
+        cells = run_campaign(
+            [k20], apps=apps,
+            environments=["sys-str+", "rand-str-", "cache-str-"],
+            scale=dataclasses.replace(SMOKE, campaign_runs=15), seed=4,
+        )
+        table = table5_summary(cells)
+        sys_cell = table[("K20", "sys-str+")]
+        for env in ("rand-str-", "cache-str-"):
+            assert sys_cell.observed >= table[("K20", env)].observed

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_validates_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table9"])
+
+
+class TestCommands:
+    def test_chips(self, capsys):
+        assert main(["chips"]) == 0
+        out = capsys.readouterr().out
+        assert "K20" in out and "Fermi" in out
+
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "cbe-dot" in out and "ls-bh-nf" in out
+
+    def test_litmus_native(self, capsys):
+        code = main([
+            "litmus", "MP", "--chip", "K20", "--distance", "64",
+            "--executions", "30",
+        ])
+        assert code == 0
+        assert "MP d=64 on K20" in capsys.readouterr().out
+
+    def test_litmus_stressed(self, capsys):
+        code = main([
+            "litmus", "SB", "--chip", "Titan", "--distance", "64",
+            "--executions", "40", "--stress-at", "0,64",
+            "--sequence", "ld st2 ld",
+        ])
+        assert code == 0
+        assert "SB" in capsys.readouterr().out
+
+    def test_test_app(self, capsys):
+        code = main([
+            "test-app", "cbe-dot", "--chip", "K20",
+            "--environment", "no-str-", "--runs", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cbe-dot on K20" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "GTX 980" in capsys.readouterr().out

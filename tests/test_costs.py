@@ -1,0 +1,120 @@
+"""Tests for the fence cost study (paper Sec. 6)."""
+
+import pytest
+
+from repro.apps import get_application
+from repro.chips import get_chip
+from repro.costs import (
+    CostPoint,
+    FencingStrategy,
+    figure5_points,
+    measure_cost,
+    overhead_summary,
+)
+from repro.costs.measure import fences_for
+from repro.hardening.fence_sets import all_fences
+
+
+class TestFencesFor:
+    def test_none_strategy_is_empty(self):
+        app = get_application("cbe-dot")
+        assert fences_for(app, FencingStrategy.NONE) == frozenset()
+
+    def test_conservative_is_all_sites(self):
+        app = get_application("cbe-dot")
+        assert fences_for(app, FencingStrategy.CONSERVATIVE) == \
+            all_fences(app)
+
+    def test_empirical_defaults_to_required(self):
+        app = get_application("cbe-dot")
+        assert fences_for(app, FencingStrategy.EMPIRICAL) == \
+            app.required_sites()
+
+    def test_empirical_override(self):
+        app = get_application("cbe-dot")
+        custom = frozenset({app.sites()[0]})
+        assert fences_for(app, FencingStrategy.EMPIRICAL, custom) == custom
+
+
+class TestMeasureCost:
+    @pytest.fixture(scope="class")
+    def measurements(self):
+        app = get_application("cbe-dot")
+        chip = get_chip("K20")
+        return {
+            s: measure_cost(app, chip, s, runs=6, seed=3)
+            for s in FencingStrategy
+        }
+
+    def test_runtime_positive(self, measurements):
+        for m in measurements.values():
+            assert m.runtime_ms > 0
+
+    def test_fences_never_speed_up(self, measurements):
+        # Paper Fig. 5: no points below the diagonal.
+        base = measurements[FencingStrategy.NONE]
+        cons = measurements[FencingStrategy.CONSERVATIVE]
+        assert cons.runtime_ms > base.runtime_ms
+
+    def test_conservative_costs_more_than_empirical(self, measurements):
+        emp = measurements[FencingStrategy.EMPIRICAL]
+        cons = measurements[FencingStrategy.CONSERVATIVE]
+        assert cons.runtime_ms > emp.runtime_ms
+
+    def test_energy_available_on_k20(self, measurements):
+        assert measurements[FencingStrategy.NONE].energy_j is not None
+
+    def test_energy_unavailable_without_sensors(self):
+        app = get_application("cbe-dot")
+        m = measure_cost(
+            app, get_chip("980"), FencingStrategy.NONE, runs=3, seed=1
+        )
+        assert m.energy_j is None
+
+    def test_overhead_helpers(self, measurements):
+        base = measurements[FencingStrategy.NONE]
+        cons = measurements[FencingStrategy.CONSERVATIVE]
+        assert cons.overhead_vs(base) > 0
+        assert cons.energy_overhead_vs(base) > 0
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def points(self):
+        apps = [get_application(n) for n in ("cbe-dot", "cbe-ht")]
+        chips = [get_chip("K20"), get_chip("C2075")]
+        return figure5_points(apps, chips, runs=5, seed=4)
+
+    def test_point_count(self, points):
+        # 2 apps x 2 chips x 2 fencing strategies.
+        assert len(points) == 8
+
+    def test_no_points_below_diagonal(self, points):
+        for p in points:
+            assert p.fenced_runtime_ms >= p.baseline_runtime_ms * 0.98
+
+    def test_summary_shape(self, points):
+        summary = overhead_summary(points)
+        assert set(summary) == {"emp fences", "cons fences"}
+        assert (
+            summary["cons fences"]["median runtime overhead %"]
+            > summary["emp fences"]["median runtime overhead %"]
+        )
+
+    def test_energy_overhead_tracks_runtime(self, points):
+        # Paper: runtime costs correspond closely to energy costs.
+        for p in points:
+            e = p.energy_overhead_pct
+            if e is None:
+                continue
+            r = p.runtime_overhead_pct
+            assert (e > 0) == (r > 0) or abs(r) < 5
+
+    def test_cost_point_properties(self):
+        p = CostPoint(
+            chip="K20", app="x", strategy=FencingStrategy.EMPIRICAL,
+            baseline_runtime_ms=10.0, fenced_runtime_ms=15.0,
+            baseline_energy_j=1.0, fenced_energy_j=1.5,
+        )
+        assert p.runtime_overhead_pct == pytest.approx(50.0)
+        assert p.energy_overhead_pct == pytest.approx(50.0)

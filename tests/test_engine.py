@@ -1,0 +1,233 @@
+"""Tests for the SIMT execution engine and kernel DSL."""
+
+import numpy as np
+import pytest
+
+from repro.chips import SC_REFERENCE, get_chip
+from repro.gpu.addresses import AddressSpace
+from repro.gpu.engine import Engine, Outcome
+from repro.gpu.kernel import Kernel, LaunchConfig
+from repro.gpu.memory import MemorySystem
+from repro.gpu.pressure import StressField
+
+
+def run_kernel(fn, args, grid=2, block=4, warp=4, chip=None, seed=0,
+               max_ticks=50_000, fence_sites=frozenset()):
+    chip = chip or SC_REFERENCE
+    mem = MemorySystem(chip, StressField.zero(chip),
+                       np.random.default_rng(seed))
+    engine = Engine(chip, mem, np.random.default_rng(seed + 1),
+                    max_ticks=max_ticks)
+    config = LaunchConfig(grid_dim=grid, block_dim=block, warp_size=warp)
+    result = engine.run(Kernel("k", fn, tuple(args)), config,
+                        fence_sites=fence_sites)
+    return result, mem
+
+
+class TestBasicExecution:
+    def test_every_thread_runs(self):
+        space = AddressSpace()
+        out = space.alloc("out", 8)
+
+        def kernel(ctx, out):
+            yield from ctx.store(out, ctx.global_tid(), ctx.global_tid())
+
+        result, mem = run_kernel(kernel, [out])
+        assert result.outcome is Outcome.OK
+        assert [mem.host_read(out, i) for i in range(8)] == list(range(8))
+
+    def test_load_returns_initialised_value(self):
+        space = AddressSpace()
+        data = space.alloc("data", 4)
+        out = space.alloc("out", 4)
+
+        def kernel(ctx, data, out):
+            v = yield from ctx.load(data, ctx.global_tid() % 4)
+            yield from ctx.store(out, ctx.global_tid() % 4, v * 2)
+
+        def init(mem):
+            mem.host_fill(data, [1, 2, 3, 4])
+
+        chip = SC_REFERENCE
+        mem = MemorySystem(chip, StressField.zero(chip),
+                           np.random.default_rng(0))
+        init(mem)
+        engine = Engine(chip, mem, np.random.default_rng(1))
+        engine.run(Kernel("k", kernel, (data, out)),
+                   LaunchConfig(1, 4, 4))
+        assert [mem.host_read(out, i) for i in range(4)] == [2, 4, 6, 8]
+
+    def test_atomic_add_counts_threads(self):
+        space = AddressSpace()
+        counter = space.alloc("counter", 1)
+
+        def kernel(ctx, counter):
+            yield from ctx.atomic_add(counter, 0, 1)
+
+        result, mem = run_kernel(kernel, [counter], grid=4, block=8)
+        assert mem.host_read(counter, 0) == 32
+
+    def test_atomic_cas_exactly_one_winner(self):
+        space = AddressSpace()
+        cell = space.alloc("cell", 1)
+        wins = space.alloc("wins", 1)
+
+        def kernel(ctx, cell, wins):
+            old = yield from ctx.atomic_cas(cell, 0, 0, 1)
+            if old == 0:
+                yield from ctx.atomic_add(wins, 0, 1)
+
+        result, mem = run_kernel(kernel, [cell, wins], grid=4, block=8)
+        assert mem.host_read(wins, 0) == 1
+
+    def test_atomic_inc_mod_wraps(self):
+        space = AddressSpace()
+        c = space.alloc("c", 1)
+
+        def kernel(ctx, c):
+            yield from ctx.atomic_inc_mod(c, 0, 2)
+
+        result, mem = run_kernel(kernel, [c], grid=1, block=6, warp=8)
+        # 6 increments wrapping at limit 2: 1,2,0,1,2,0
+        assert mem.host_read(c, 0) == 0
+
+
+class TestBarriers:
+    def test_barrier_orders_phases(self):
+        space = AddressSpace()
+        data = space.alloc("data", 8)
+        out = space.alloc("out", 8)
+
+        def kernel(ctx, data, out):
+            yield from ctx.store(data, ctx.tid, ctx.tid + 1)
+            yield from ctx.syncthreads()
+            # Read a neighbour's value: must be visible after barrier.
+            neighbour = (ctx.tid + 1) % ctx.block_dim
+            v = yield from ctx.load(data, neighbour)
+            yield from ctx.store(out, ctx.tid, v)
+
+        result, mem = run_kernel(kernel, [data, out], grid=1, block=8,
+                                 warp=4, seed=3)
+        got = [mem.host_read(out, i) for i in range(8)]
+        assert got == [(i + 1) % 8 + 1 for i in range(8)]
+
+    def test_barrier_with_exited_threads_is_lenient(self):
+        space = AddressSpace()
+        out = space.alloc("out", 8)
+
+        def kernel(ctx, out):
+            if ctx.tid >= 4:
+                return
+            yield from ctx.syncthreads()
+            yield from ctx.store(out, ctx.tid, 1)
+
+        result, _mem = run_kernel(kernel, [out], grid=1, block=8)
+        assert result.outcome is Outcome.OK
+
+
+class TestTimeout:
+    def test_nonterminating_kernel_times_out(self):
+        def kernel(ctx):
+            while True:
+                yield from ctx.compute(1)
+
+        result, _mem = run_kernel(kernel, [], grid=1, block=1,
+                                  max_ticks=500)
+        assert result.timed_out
+
+    def test_timeout_can_raise(self):
+        from repro.errors import KernelTimeoutError
+
+        def kernel(ctx):
+            while True:
+                yield from ctx.compute(1)
+
+        chip = SC_REFERENCE
+        mem = MemorySystem(chip, StressField.zero(chip),
+                           np.random.default_rng(0))
+        engine = Engine(chip, mem, np.random.default_rng(1),
+                        max_ticks=200, raise_on_timeout=True)
+        with pytest.raises(KernelTimeoutError):
+            engine.run(Kernel("k", kernel, ()), LaunchConfig(1, 1, 1))
+
+
+class TestFenceInstrumentation:
+    def test_site_fence_executes_when_active(self):
+        space = AddressSpace()
+        out = space.alloc("out", 4)
+
+        def kernel(ctx, out):
+            yield from ctx.store(out, ctx.tid, 1, site="s1")
+
+        result, _ = run_kernel(kernel, [out], grid=1, block=4,
+                               fence_sites=frozenset({"s1"}))
+        assert result.n_fences == 4
+
+    def test_site_fence_skipped_when_inactive(self):
+        space = AddressSpace()
+        out = space.alloc("out", 4)
+
+        def kernel(ctx, out):
+            yield from ctx.store(out, ctx.tid, 1, site="s1")
+
+        result, _ = run_kernel(kernel, [out], grid=1, block=4)
+        assert result.n_fences == 0
+
+    def test_fence_with_pending_store_costs_more(self):
+        space = AddressSpace()
+        out = space.alloc("out", 8)
+        data = space.alloc("data", 8)
+
+        def store_kernel(ctx, out, data):
+            yield from ctx.store(out, ctx.tid, 1, site="s")
+
+        def load_kernel(ctx, out, data):
+            yield from ctx.load(data, ctx.tid, site="s")
+
+        chip = get_chip("K20")
+        r_store, _ = run_kernel(store_kernel, [out, data], grid=1,
+                                block=8, chip=chip,
+                                fence_sites=frozenset({"s"}))
+        r_load, _ = run_kernel(load_kernel, [out, data], grid=1,
+                               block=8, chip=chip,
+                               fence_sites=frozenset({"s"}))
+        assert r_store.fence_stall_cycles > r_load.fence_stall_cycles
+
+
+class TestMultiKernel:
+    def test_run_all_accumulates(self):
+        space = AddressSpace()
+        c = space.alloc("c", 1)
+
+        def k1(ctx, c):
+            yield from ctx.atomic_add(c, 0, 1)
+
+        def k2(ctx, c):
+            yield from ctx.atomic_add(c, 0, 10)
+
+        chip = SC_REFERENCE
+        mem = MemorySystem(chip, StressField.zero(chip),
+                           np.random.default_rng(0))
+        engine = Engine(chip, mem, np.random.default_rng(1))
+        cfg = LaunchConfig(1, 2, 2)
+        result = engine.run_all(
+            [(Kernel("k1", k1, (c,)), cfg), (Kernel("k2", k2, (c,)), cfg)]
+        )
+        assert result.outcome is Outcome.OK
+        assert mem.host_read(c, 0) == 22
+        assert result.ticks > 0
+
+
+class TestLaunchConfig:
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(0, 4, 4)
+        with pytest.raises(ValueError):
+            LaunchConfig(4, 0, 4)
+
+    def test_warps_per_block_rounds_up(self):
+        assert LaunchConfig(1, 10, 4).warps_per_block == 3
+        assert LaunchConfig(1, 8, 4).warps_per_block == 2
+
+    def test_n_threads(self):
+        assert LaunchConfig(3, 5, 4).n_threads == 15

@@ -1,0 +1,67 @@
+"""Tests for tables, figures and the experiment harness."""
+
+import pytest
+
+from repro.reporting import (
+    EXPERIMENTS,
+    render_bars,
+    render_series,
+    render_table,
+    run_experiment,
+)
+
+
+class TestRenderTable:
+    def test_renders_rows(self):
+        text = render_table(
+            [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}], title="T"
+        )
+        assert "T" in text
+        assert "22" in text
+        assert text.splitlines()[1].startswith("a")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([], title="T")
+
+    def test_column_subset(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestRenderFigures:
+    def test_bars_scale_to_peak(self):
+        text = render_bars([0, 1, 5], label="MP d=0")
+        assert "MP d=0" in text
+        assert "peak=5" in text
+
+    def test_bars_all_zero(self):
+        assert "peak=0" in render_bars([0, 0, 0])
+
+    def test_series_renders_points(self):
+        text = render_series(
+            {"MP": [(1, 10.0), (2, 20.0)], "LB": [(1, 5.0)]},
+            title="fig", x_label="spread",
+        )
+        assert "fig" in text and "spread" in text
+        assert "20" in text
+
+
+class TestExperimentRegistry:
+    def test_all_nine_artefacts_present(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig3", "table2", "table3", "fig4",
+            "table4", "table5", "table6", "fig5",
+        }
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError):
+            run_experiment("table9")
+
+    def test_table1_static(self):
+        text = run_experiment("table1")
+        for chip in ("GTX 980", "Quadro K5200", "Tesla C2050"):
+            assert chip in text
+
+    def test_table4_static(self):
+        text = run_experiment("table4")
+        assert "cbe-dot" in text and "ls-bh" in text

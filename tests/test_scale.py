@@ -1,0 +1,33 @@
+"""Tests for scale presets."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.scale import DEFAULT, PAPER, SMOKE, get_scale
+
+
+class TestPresets:
+    def test_lookup_by_name(self):
+        assert get_scale("smoke") is SMOKE
+        assert get_scale("default") is DEFAULT
+        assert get_scale("paper") is PAPER
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ReproError):
+            get_scale("huge")
+
+    def test_paper_scale_matches_paper_parameters(self):
+        assert PAPER.max_distance == 256
+        assert PAPER.max_location == 256
+        assert PAPER.executions == 1000
+        assert PAPER.max_sequence_length == 5
+        assert PAPER.max_spread == 64
+        assert PAPER.distance_step == 1
+
+    def test_scales_are_ordered(self):
+        assert SMOKE.executions < DEFAULT.executions < PAPER.executions
+        assert SMOKE.campaign_runs < DEFAULT.campaign_runs
+
+    def test_location_grids_nonempty(self):
+        for scale in (SMOKE, DEFAULT, PAPER):
+            assert scale.max_location // scale.location_step >= 8

@@ -1,0 +1,217 @@
+"""Tests for the tuning pipeline (paper Sec. 3)."""
+
+import dataclasses
+
+import pytest
+
+from repro.chips import get_chip
+from repro.scale import SMOKE
+from repro.stress.sequences import format_sequence
+from repro.tuning import (
+    critical_patch_size,
+    find_patches,
+    scan_patches,
+    score_spreads,
+    select_sequence,
+    select_spread,
+    shipped_params,
+)
+from repro.tuning.access import SequenceScores, pareto_front
+from repro.tuning.patches import PatchScan
+
+TINY = dataclasses.replace(
+    SMOKE,
+    max_distance=3 * 32,
+    distance_step=32,
+    max_location=128,
+    location_step=16,
+    executions=32,
+)
+
+
+class TestFindPatches:
+    LOCS = tuple(range(0, 160, 16))
+
+    def test_single_patch(self):
+        row = [0, 0, 5, 6, 0, 0, 0, 0, 0, 0]
+        assert find_patches(row, self.LOCS, epsilon=1) == [(32, 32)]
+
+    def test_multiple_patches(self):
+        row = [5, 5, 0, 0, 9, 8, 7, 0, 0, 4]
+        patches = find_patches(row, self.LOCS, epsilon=1)
+        assert (0, 32) in patches
+        assert (64, 48) in patches
+
+    def test_trailing_patch_extends_to_grid_end(self):
+        row = [0] * 8 + [5, 5]
+        assert find_patches(row, self.LOCS, epsilon=1) == [(128, 32)]
+
+    def test_single_dip_bridged(self):
+        row = [0, 0, 5, 1, 6, 0, 0, 0, 0, 0]
+        assert find_patches(row, self.LOCS, epsilon=1) == [(32, 48)]
+
+    def test_empty_row_no_patches(self):
+        assert find_patches([0] * 10, self.LOCS, epsilon=1) == []
+
+    def test_threshold_is_strict(self):
+        row = [1] * 10
+        assert find_patches(row, self.LOCS, epsilon=1) == []
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            find_patches([1, 2], self.LOCS, epsilon=1)
+
+
+class TestCriticalPatchSize:
+    def test_synthetic_agreement(self):
+        locs = tuple(range(0, 128, 16))
+        scan = PatchScan(
+            chip="x", executions=100, distances=(0, 64), locations=locs
+        )
+        for test in ("MP", "LB", "SB"):
+            for d in (0, 64):
+                for l in locs:
+                    # one hot 32-word patch at 64..96 for d=64
+                    hot = d == 64 and 64 <= l < 96
+                    scan.counts[(test, d, l)] = 50 if hot else 0
+        size, per_test = critical_patch_size(scan, epsilon=5)
+        assert size == 32
+        assert per_test == {"MP": 32, "LB": 32, "SB": 32}
+
+    def test_silent_test_excluded_from_agreement(self):
+        # The paper's Maxwell case: MP shows no patches; LB/SB agree.
+        locs = tuple(range(0, 256, 16))
+        scan = PatchScan(
+            chip="980x", executions=100, distances=(128,), locations=locs
+        )
+        for test in ("MP", "LB", "SB"):
+            for l in locs:
+                hot = test != "MP" and 64 <= l < 128
+                scan.counts[(test, 128, l)] = 60 if hot else 0
+        size, per_test = critical_patch_size(scan, epsilon=5)
+        assert size == 64
+        assert per_test["MP"] is None
+
+    def test_no_patches_anywhere_raises(self):
+        scan = PatchScan(
+            chip="x", executions=10, distances=(0,), locations=(0, 16)
+        )
+        scan.counts.update({("MP", 0, 0): 0, ("MP", 0, 16): 0})
+        with pytest.raises(ValueError):
+            critical_patch_size(scan, epsilon=1)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", ["Titan", "K20", "C2075", "980"])
+    def test_rediscovers_hidden_patch_size(self, name):
+        chip = get_chip(name)
+        # Maxwell's MP silence (paper Sec. 3.2) leaves the estimate to
+        # LB/SB, which needs a slightly larger sample to stabilise.
+        scale = (
+            dataclasses.replace(SMOKE, executions=64)
+            if name == "980"
+            else SMOKE
+        )
+        scan = scan_patches(chip, scale, seed=3)
+        size, _per_test = critical_patch_size(scan)
+        assert size == chip.patch_size
+
+
+class TestSequenceSelection:
+    def _scores(self, table):
+        scores = SequenceScores(chip="x", tests=("MP", "LB", "SB"))
+        scores.scores = table
+        return scores
+
+    def test_pareto_front_excludes_dominated(self):
+        a, b = ("ld",), ("st",)
+        scores = self._scores({
+            a: {"MP": 10, "LB": 10, "SB": 10},
+            b: {"MP": 1, "LB": 1, "SB": 1},
+        })
+        assert pareto_front(scores) == [a]
+
+    def test_incomparable_both_on_front(self):
+        a, b = ("ld",), ("st",)
+        scores = self._scores({
+            a: {"MP": 10, "LB": 0, "SB": 5},
+            b: {"MP": 0, "LB": 10, "SB": 5},
+        })
+        assert set(pareto_front(scores)) == {a, b}
+
+    def test_tie_break_by_two_of_three(self):
+        a, b = ("ld",), ("st",)
+        scores = self._scores({
+            a: {"MP": 10, "LB": 9, "SB": 1},
+            b: {"MP": 9, "LB": 10, "SB": 2},
+        })
+        # b beats a on LB and SB: majority winner.
+        assert select_sequence(scores) == b
+
+    def test_single_front_returned_directly(self):
+        a = ("ld", "st")
+        scores = self._scores({a: {"MP": 1, "LB": 1, "SB": 1}})
+        assert select_sequence(scores) == a
+
+    def test_table3_rows_shape(self):
+        a, b = ("ld",), ("st",)
+        scores = self._scores({
+            a: {"MP": 10, "LB": 9, "SB": 1},
+            b: {"MP": 9, "LB": 10, "SB": 2},
+        })
+        rows = scores.table3_rows(top=1, bottom=1)
+        assert set(rows) == {"MP", "LB", "SB"}
+        assert rows["MP"][0]["rank"] == 1
+
+
+class TestSpreadSelection:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", ["K20", "980"])
+    def test_spread_two_is_optimal(self, name):
+        # Paper Tab. 2: spread 2 on every chip.
+        chip = get_chip(name)
+        scale = dataclasses.replace(
+            SMOKE, max_spread=12, spread_executions=96,
+            spread_distance_step=32, max_distance=192,
+        )
+        scores = score_spreads(
+            chip, chip.patch_size, chip.best_sequence, scale, seed=6
+        )
+        assert select_spread(scores) == 2
+
+    def test_series_shape(self, k20):
+        scale = dataclasses.replace(
+            SMOKE, max_spread=3, spread_executions=8,
+            spread_distance_step=96,
+        )
+        scores = score_spreads(k20, 32, ("ld", "st"), scale, seed=0)
+        series = scores.series("MP")
+        assert [m for m, _s in series] == [1, 2, 3]
+
+
+class TestShippedParams:
+    @pytest.mark.parametrize(
+        "name,seq",
+        [
+            ("980", "ld4 st"),
+            ("K5200", "ld3 st ld"),
+            ("Titan", "ld st2 ld"),
+            ("K20", "ld st2 ld"),
+            ("770", "st2 ld2"),
+            ("C2075", "ld st"),
+            ("C2050", "ld st"),
+        ],
+    )
+    def test_matches_paper_table2(self, name, seq):
+        config = shipped_params(name)
+        assert format_sequence(config.sequence) == seq
+        assert config.spread == 2
+
+    def test_fermi_sequences_match(self):
+        assert shipped_params("C2075").sequence == \
+            shipped_params("C2050").sequence
+
+    def test_titan_k20_sequences_match(self):
+        # Paper: Titan and K20 share ld st2 ld, a rotation of 770's
+        # st2 ld2.
+        assert shipped_params("Titan").sequence == \
+            shipped_params("K20").sequence
