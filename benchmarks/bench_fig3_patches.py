@@ -3,6 +3,10 @@
 Regenerates the ⟨T_d, l⟩ sweep for Titan and C2075 and checks the
 paper's qualitative findings: no weak behaviour below the critical patch
 size, patches of the chip's size above it.
+
+Set ``REPRO_BENCH_JOBS=N`` to shard the ⟨T_d, l⟩ grid across N worker
+processes; the scan (and these assertions) are identical at any job
+count.
 """
 
 from repro.chips import get_chip
@@ -10,15 +14,16 @@ from repro.reporting.figures import render_bars
 from repro.tuning import critical_patch_size, scan_patches
 
 
-def _scan(chip_name, scale):
+def _scan(chip_name, scale, parallel):
     chip = get_chip(chip_name)
-    scan = scan_patches(chip, scale, seed=3)
+    scan = scan_patches(chip, scale, seed=3, parallel=parallel)
     return chip, scan
 
 
-def test_fig3_titan(benchmark, bench_scale):
+def test_fig3_titan(benchmark, bench_scale, bench_parallel):
     chip, scan = benchmark.pedantic(
-        _scan, args=("Titan", bench_scale), rounds=1, iterations=1
+        _scan, args=("Titan", bench_scale, bench_parallel),
+        rounds=1, iterations=1,
     )
     print()
     print(f"Figure 3a ({chip.name}):")
@@ -32,9 +37,10 @@ def test_fig3_titan(benchmark, bench_scale):
     assert sum(scan.row("MP", 0)) <= 1
 
 
-def test_fig3_c2075(benchmark, bench_scale):
+def test_fig3_c2075(benchmark, bench_scale, bench_parallel):
     chip, scan = benchmark.pedantic(
-        _scan, args=("C2075", bench_scale), rounds=1, iterations=1
+        _scan, args=("C2075", bench_scale, bench_parallel),
+        rounds=1, iterations=1,
     )
     print()
     print(f"Figure 3b ({chip.name}):")

@@ -1,4 +1,8 @@
-"""Figure 4: spread finding for 980 and K20 (Sec. 3.4)."""
+"""Figure 4: spread finding for 980 and K20 (Sec. 3.4).
+
+The spread-scoring grid inherits ``REPRO_BENCH_JOBS`` through the
+scale's ``jobs`` knob; scores are identical at any job count.
+"""
 
 import pytest
 

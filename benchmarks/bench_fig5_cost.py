@@ -4,6 +4,10 @@ Measures native runtime (and, on sensor-equipped chips, energy) of the
 no/emp/cons fencing strategies and checks the paper's qualitative
 findings: fences never reduce cost, conservative fencing costs more than
 empirical fencing, and old (Fermi) chips pay the most.
+
+Cost measurement repeats runs until enough *passing* executions
+accumulate — a sequentially dependent loop — so it deliberately stays
+serial and ignores ``REPRO_BENCH_JOBS``.
 """
 
 import statistics

@@ -1,4 +1,5 @@
-"""Table 1: the seven studied GPUs (static registry)."""
+"""Table 1: the seven studied GPUs (static registry; no run loops,
+so ``REPRO_BENCH_JOBS`` has no effect here)."""
 
 from repro.reporting.experiments import table1
 

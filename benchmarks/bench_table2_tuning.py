@@ -4,6 +4,9 @@ Runs patch finding, sequence scoring and spread finding end to end for
 one Kepler and one Fermi chip and checks the result against the paper's
 Table 2 row (which our ``shipped_params`` mirrors).  The full 7-chip
 table is available via ``gpu-wmm experiment table2 --scale default``.
+
+The tuning grids inherit ``REPRO_BENCH_JOBS`` through the scale's
+``jobs`` knob; the discovered parameters are identical at any job count.
 """
 
 import dataclasses

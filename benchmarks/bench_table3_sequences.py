@@ -1,4 +1,8 @@
-"""Table 3: access-sequence ranking snippet for Titan (Sec. 3.3)."""
+"""Table 3: access-sequence ranking snippet for Titan (Sec. 3.3).
+
+The σ-scoring grid inherits ``REPRO_BENCH_JOBS`` through the scale's
+``jobs`` knob; scores are identical at any job count.
+"""
 
 import dataclasses
 

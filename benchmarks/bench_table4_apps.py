@@ -1,5 +1,6 @@
 """Table 4: the application case studies, plus a correctness smoke run
-of every application on the SC reference chip."""
+of every application on the SC reference chip (one run per app — too
+little work to shard, so ``REPRO_BENCH_JOBS`` has no effect here)."""
 
 from repro.apps import all_applications
 from repro.apps.base import run_application

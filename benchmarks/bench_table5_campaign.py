@@ -10,6 +10,10 @@ the eight environments — and checks the paper's headline findings:
 
 The full 7 x 8 grid is available via
 ``gpu-wmm experiment table5 --scale default`` (slow).
+
+Set ``REPRO_BENCH_JOBS=N`` to shard the campaign across N worker
+processes; the grid statistics (and these assertions) are identical at
+any job count.
 """
 
 from repro.chips import get_chip
@@ -20,15 +24,16 @@ from repro.testing.summary import most_capable_environment
 ENVS = ("no-str-", "sys-str+", "rand-str-", "cache-str+")
 
 
-def _campaign(scale):
+def _campaign(scale, parallel):
     chip = get_chip("K20")
     return run_campaign([chip], environments=list(ENVS), scale=scale,
-                        seed=4)
+                        seed=4, parallel=parallel)
 
 
-def test_table5_k20(benchmark, bench_scale):
+def test_table5_k20(benchmark, bench_scale, bench_parallel):
     cells = benchmark.pedantic(
-        _campaign, args=(bench_scale,), rounds=1, iterations=1
+        _campaign, args=(bench_scale, bench_parallel),
+        rounds=1, iterations=1,
     )
     table = table5_summary(cells)
     rows = [

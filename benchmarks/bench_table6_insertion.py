@@ -5,6 +5,10 @@ paper centres Table 6 on) and checks the reduced fence counts against
 the paper: one fence for cbe-dot/cbe-ht, two for cub-scan-nf.  Cross-
 chip agreement and the ls-bh-nf four-fence case are covered by the test
 suite; the full table is available via ``gpu-wmm experiment table6``.
+
+Candidate fence-set checks inherit ``REPRO_BENCH_JOBS`` through the
+scale's ``jobs`` knob; the reduction path and final fence sets are
+identical at any job count.
 """
 
 import dataclasses

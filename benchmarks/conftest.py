@@ -1,34 +1,57 @@
 """Benchmark harness configuration.
 
 Each ``bench_*`` module regenerates one table or figure of the paper
-(see DESIGN.md's per-experiment index) at a reduced scale and times the
-underlying computation with pytest-benchmark.  The regenerated artefact
-is printed, so running with ``-s`` shows the paper-shaped output::
+(see docs/ARCHITECTURE.md's per-experiment index) at a reduced scale and
+times the underlying computation with pytest-benchmark.  The regenerated
+artefact is printed, so running with ``-s`` shows the paper-shaped
+output::
 
     pytest benchmarks/ --benchmark-only -s
+
+Set ``REPRO_BENCH_JOBS=N`` to shard the run loops across N worker
+processes (0 = one per CPU).  The regenerated artefacts — and hence
+every benchmark assertion — are identical at any job count; only the
+timed wall-clock changes, e.g.::
+
+    REPRO_BENCH_JOBS=4 pytest benchmarks/bench_table5_campaign.py -s
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 
 import pytest
 
+from repro.parallel import ParallelConfig
 from repro.scale import SMOKE
 
 
 @pytest.fixture
-def bench_scale():
-    """Scale used by the benchmark harness (kept small; the CLI can
-    regenerate any artefact at ``default`` or ``paper`` scale)."""
-    return SMOKE
+def bench_jobs():
+    """Worker processes for the benchmark run loops (REPRO_BENCH_JOBS)."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture
-def tiny_scale():
+def bench_parallel(bench_jobs):
+    """ParallelConfig shared by every benchmark harness."""
+    return ParallelConfig(jobs=bench_jobs)
+
+
+@pytest.fixture
+def bench_scale(bench_jobs):
+    """Scale used by the benchmark harness (kept small; the CLI can
+    regenerate any artefact at ``default`` or ``paper`` scale)."""
+    return dataclasses.replace(SMOKE, jobs=bench_jobs)
+
+
+@pytest.fixture
+def tiny_scale(bench_jobs):
     """Extra-small grids for the heaviest pipelines."""
     return dataclasses.replace(
         SMOKE,
+        jobs=bench_jobs,
         max_distance=192,
         distance_step=32,
         max_location=160,

@@ -9,6 +9,10 @@ Subcommands:
 * ``test-app`` — run one application under a testing environment;
 * ``harden`` — empirical fence insertion for one application/chip;
 * ``chips`` / ``apps`` — list the registries.
+
+Every run-loop subcommand accepts ``--jobs N`` to shard its work across
+worker processes (``0`` = one per CPU); results are identical at any
+job count.
 """
 
 from __future__ import annotations
@@ -16,19 +20,41 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .apps.base import run_application
-from .apps.registry import all_applications, get_application
-from .chips.registry import all_chips, get_chip
+from .apps.registry import APP_ORDER, get_application
+from .apps.registry import all_applications
+from .chips.registry import CHIP_ORDER, all_chips, get_chip
+from .errors import ReproError
 from .hardening.insertion import empirical_fence_insertion
 from .litmus.runner import run_litmus
-from .litmus.tests import get_test
+from .litmus.tests import ALL_TESTS, get_test
+from .parallel import ParallelConfig
 from .reporting.experiments import EXPERIMENTS, run_experiment
-from .rng import derive_seed
 from .scale import get_scale
-from .stress.environment import standard_environments
+from .stress.environment import ENVIRONMENT_ORDER, standard_environments
 from .stress.sequences import parse_sequence
 from .stress.strategies import FixedLocationStress, NoStress
+from .testing.campaign import run_cell
 from .tuning.pipeline import shipped_params
+
+_TEST_NAMES = tuple(t.name for t in ALL_TESTS)
+#: Chips selectable on the command line: the studied parts plus the
+#: sequentially consistent reference chip.
+_CHIP_NAMES = CHIP_ORDER + ("sc-ref",)
+
+
+def _jobs_arg(value: str) -> int:
+    """argparse type for ``--jobs``: a non-negative worker count."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {value!r}"
+        ) from None
+    if n < 0:
+        raise argparse.ArgumentTypeError(
+            "jobs must be >= 0 (0 = one per CPU)"
+        )
+    return n
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -37,12 +63,58 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--scale",
         default="smoke",
         choices=["smoke", "default", "paper"],
-        help="experiment scale preset",
+        help="experiment scale preset (sample sizes; default: smoke)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the run loops (default: serial; "
+            "0 = one per CPU; results are identical at any job count)"
+        ),
     )
 
 
+def _parallel(args: argparse.Namespace) -> ParallelConfig | None:
+    """The ParallelConfig implied by ``--jobs`` (None = serial default)."""
+    return None if args.jobs is None else ParallelConfig(jobs=args.jobs)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    print(run_experiment(args.id, scale=args.scale, seed=args.seed))
+    kwargs: dict[str, object] = {}
+    if args.chips:
+        # Experiments centred on a single chip take ``chip``; the grid
+        # experiments take a ``chips`` tuple.  table1/table4 are static
+        # registry renders and ignore the filter.
+        if args.id in ("table3", "table6"):
+            if len(args.chips) > 1:
+                print(
+                    f"gpu-wmm: error: experiment {args.id} runs on a "
+                    f"single chip; got --chips {' '.join(args.chips)}",
+                    file=sys.stderr,
+                )
+                return 2
+            kwargs["chip"] = args.chips[0]
+        elif args.id in ("fig3", "table2", "fig4", "table5", "fig5"):
+            kwargs["chips"] = tuple(args.chips)
+    if args.environments and args.id == "table5":
+        kwargs["environments"] = tuple(args.environments)
+    try:
+        text = run_experiment(
+            args.id,
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            **kwargs,
+        )
+    except (ReproError, ValueError) as exc:
+        # E.g. tuning experiments on sc-ref: the SC reference chip shows
+        # no weak behaviours, so patch finding legitimately fails.
+        print(f"gpu-wmm: error: {exc}", file=sys.stderr)
+        return 2
+    print(text)
     return 0
 
 
@@ -78,6 +150,7 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
         args.executions,
         seed=args.seed,
         randomise=args.randomise,
+        parallel=_parallel(args),
     )
     print(
         f"{test.name} d={args.distance} on {chip.short_name}: "
@@ -95,23 +168,15 @@ def _cmd_test_app(args: argparse.Namespace) -> int:
         for e in standard_environments(shipped_params(chip.short_name))
     }
     env = envs[args.environment]
-    errors = timeouts = 0
-    for i in range(args.runs):
-        run = run_application(
-            app,
-            chip,
-            stress_spec=env.strategy,
-            randomise=env.randomise,
-            seed=derive_seed(args.seed, "cli", i),
-        )
-        errors += run.erroneous
-        timeouts += run.timed_out
-    rate = 100.0 * errors / args.runs
+    cell = run_cell(
+        app, chip, env, args.runs, seed=args.seed, parallel=_parallel(args)
+    )
+    rate = 100.0 * cell.error_rate
     effective = "effective" if rate > 5.0 else "not effective"
     print(
         f"{app.name} on {chip.short_name} under {env.name}: "
-        f"{errors}/{args.runs} erroneous ({rate:.1f}%, {effective}), "
-        f"{timeouts} timeouts"
+        f"{cell.errors}/{cell.runs} erroneous ({rate:.1f}%, {effective}), "
+        f"{cell.timeouts} timeouts"
     )
     return 0
 
@@ -120,7 +185,11 @@ def _cmd_harden(args: argparse.Namespace) -> int:
     chip = get_chip(args.chip)
     app = get_application(args.app)
     result = empirical_fence_insertion(
-        app, chip, scale=get_scale(args.scale), seed=args.seed
+        app,
+        chip,
+        scale=get_scale(args.scale),
+        seed=args.seed,
+        parallel=_parallel(args),
     )
     print(
         f"{app.name} on {chip.short_name}: {result.initial_fences} "
@@ -133,6 +202,31 @@ def _cmd_harden(args: argparse.Namespace) -> int:
     return 0
 
 
+def _epilog() -> str:
+    """Enumerate every valid name so users need not read the registries."""
+    return "\n".join(
+        [
+            "valid names:",
+            f"  chips         {', '.join(_CHIP_NAMES)}",
+            f"  apps          {', '.join(APP_ORDER)}",
+            f"  environments  {', '.join(ENVIRONMENT_ORDER)}",
+            f"  litmus tests  {', '.join(_TEST_NAMES)}",
+            f"  experiments   {', '.join(sorted(EXPERIMENTS))}",
+            "",
+            "parallel execution:",
+            "  pass --jobs N to shard run loops across N worker",
+            "  processes (0 = one per CPU).  Statistics are identical",
+            "  at any job count; only wall-clock time changes.",
+            "",
+            "examples:",
+            "  gpu-wmm litmus MP --chip K20 --stress-at 0,64",
+            "  gpu-wmm experiment table5 --scale smoke --jobs 4 \\",
+            "      --chips K20 --environments no-str- sys-str+",
+            "  gpu-wmm harden cbe-dot --chip Titan --jobs 0",
+        ]
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gpu-wmm",
@@ -140,11 +234,43 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Exposing Errors Related to Weak Memory in "
             "GPU Applications' (PLDI 2016)"
         ),
+        epilog=_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("experiment", help="regenerate a paper artefact")
-    p.add_argument("id", choices=sorted(EXPERIMENTS))
+    p = sub.add_parser(
+        "experiment",
+        help="regenerate a paper artefact (table1..table6, fig3..fig5)",
+    )
+    p.add_argument(
+        "id",
+        choices=sorted(EXPERIMENTS),
+        help="paper table/figure to regenerate",
+    )
+    p.add_argument(
+        "--chips",
+        nargs="+",
+        choices=_CHIP_NAMES,
+        default=None,
+        metavar="CHIP",
+        help=(
+            "restrict to these chips "
+            f"(choices: {', '.join(_CHIP_NAMES)}; default: the "
+            "experiment's own selection)"
+        ),
+    )
+    p.add_argument(
+        "--environments",
+        nargs="+",
+        choices=ENVIRONMENT_ORDER,
+        default=None,
+        metavar="ENV",
+        help=(
+            "restrict table5 to these environments "
+            f"(choices: {', '.join(ENVIRONMENT_ORDER)})"
+        ),
+    )
     _add_common(p)
     p.set_defaults(fn=_cmd_experiment)
 
@@ -154,32 +280,87 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("apps", help="list the application registry")
     p.set_defaults(fn=_cmd_apps)
 
-    p = sub.add_parser("litmus", help="run a litmus test")
-    p.add_argument("test", help="MP, LB or SB")
-    p.add_argument("--chip", default="K20")
-    p.add_argument("--distance", type=int, default=64)
+    p = sub.add_parser(
+        "litmus", help="run a litmus test under a stressing configuration"
+    )
+    p.add_argument(
+        "test",
+        type=str.upper,
+        choices=_TEST_NAMES,
+        help=f"litmus test ({', '.join(_TEST_NAMES)})",
+    )
+    p.add_argument(
+        "--chip",
+        default="K20",
+        choices=_CHIP_NAMES,
+        help=f"chip to run on ({', '.join(_CHIP_NAMES)}; default: K20)",
+    )
+    p.add_argument(
+        "--distance",
+        type=int,
+        default=64,
+        help="words between the x and y communication locations",
+    )
     p.add_argument("--executions", type=int, default=200)
     p.add_argument(
         "--stress-at",
         default="",
-        help="comma-separated scratchpad offsets to stress",
+        help="comma-separated scratchpad offsets to stress (e.g. 0,64)",
     )
-    p.add_argument("--sequence", default="", help="e.g. 'ld st2 ld'")
-    p.add_argument("--randomise", action="store_true")
+    p.add_argument(
+        "--sequence",
+        default="",
+        help="stressing access sequence in run-length notation, "
+        "e.g. 'ld st2 ld'",
+    )
+    p.add_argument(
+        "--randomise",
+        action="store_true",
+        help="randomise SM placement and issue rates per execution",
+    )
     _add_common(p)
     p.set_defaults(fn=_cmd_litmus)
 
-    p = sub.add_parser("test-app", help="run an application campaign cell")
-    p.add_argument("app")
-    p.add_argument("--chip", default="K20")
-    p.add_argument("--environment", default="sys-str+")
+    p = sub.add_parser(
+        "test-app", help="run an application campaign cell"
+    )
+    p.add_argument(
+        "app",
+        choices=APP_ORDER,
+        help=f"application ({', '.join(APP_ORDER)})",
+    )
+    p.add_argument(
+        "--chip",
+        default="K20",
+        choices=_CHIP_NAMES,
+        help=f"chip to run on ({', '.join(_CHIP_NAMES)}; default: K20)",
+    )
+    p.add_argument(
+        "--environment",
+        default="sys-str+",
+        choices=ENVIRONMENT_ORDER,
+        help=(
+            "testing environment "
+            f"({', '.join(ENVIRONMENT_ORDER)}; default: sys-str+)"
+        ),
+    )
     p.add_argument("--runs", type=int, default=40)
     _add_common(p)
     p.set_defaults(fn=_cmd_test_app)
 
     p = sub.add_parser("harden", help="empirical fence insertion")
-    p.add_argument("app")
-    p.add_argument("--chip", default="Titan")
+    p.add_argument(
+        "app",
+        choices=APP_ORDER,
+        help=f"application to harden ({', '.join(APP_ORDER)})",
+    )
+    p.add_argument(
+        "--chip",
+        default="Titan",
+        choices=_CHIP_NAMES,
+        help=f"chip to harden on ({', '.join(_CHIP_NAMES)}; "
+        "default: Titan)",
+    )
     _add_common(p)
     p.set_defaults(fn=_cmd_harden)
 

@@ -23,6 +23,14 @@ from dataclasses import dataclass
 from ..apps.base import Application, run_application
 from ..chips.profile import HardwareProfile
 from ..errors import FenceInsertionError
+from ..parallel import (
+    CheckShard,
+    ParallelConfig,
+    merge_check_shards,
+    parallel_map,
+    resolve_config,
+    shard_ranges,
+)
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
 from ..stress.environment import TestingEnvironment
@@ -53,6 +61,32 @@ class InsertionResult:
         }
 
 
+def _check_shard(args: tuple) -> CheckShard:
+    """Process-pool worker: fence-check runs ``[start, stop)``.
+
+    Run ``i`` uses the seed a serial check would use at counter value
+    ``base + i + 1``.  The worker stops at its first error — later runs
+    of the shard cannot change the merged verdict (the first erroneous
+    index over all shards), so the speculation past a failure in an
+    earlier shard is the only wasted work.
+    """
+    app, chip, env, fences, seed, base, start, stop = args
+    for i in range(start, stop):
+        result = run_application(
+            app,
+            chip,
+            stress_spec=env.strategy,
+            randomise=env.randomise,
+            seed=derive_seed(
+                seed, "check", app.name, chip.short_name, base + i + 1
+            ),
+            fence_sites=fences,
+        )
+        if result.erroneous:
+            return CheckShard(start=start, stop=stop, first_error=i)
+    return CheckShard(start=start, stop=stop, first_error=None)
+
+
 class EmpiricalFenceInserter:
     """Algorithm 1, bound to one application and one chip."""
 
@@ -63,12 +97,14 @@ class EmpiricalFenceInserter:
         scale: Scale = DEFAULT,
         seed: int = 0,
         max_restarts: int = 4,
+        parallel: ParallelConfig | None = None,
     ):
         self.app = app
         self.chip = chip
         self.scale = scale
         self.seed = seed
         self.max_restarts = max_restarts
+        self.parallel = resolve_config(parallel, scale)
         self.environment = TestingEnvironment(
             strategy=TunedStress(shipped_params(chip.short_name)),
             randomise=True,
@@ -80,24 +116,53 @@ class EmpiricalFenceInserter:
     def check_application(
         self, fences: frozenset[str], iterations: int
     ) -> bool:
-        """True when A+F shows no errors over ``iterations`` runs."""
-        for _ in range(iterations):
-            self._check_counter += 1
-            self.check_runs += 1
-            result = run_application(
-                self.app,
-                self.chip,
-                stress_spec=self.environment.strategy,
-                randomise=self.environment.randomise,
-                seed=derive_seed(
-                    self.seed, "check", self.app.name,
-                    self.chip.short_name, self._check_counter,
-                ),
-                fence_sites=fences,
+        """True when A+F shows no errors over ``iterations`` runs.
+
+        Candidate evaluation is the hot loop of Algorithm 1, so the run
+        budget is sharded across worker processes.  Each run's seed
+        depends only on the check counter at call entry plus the run's
+        index, and the counter advances by the number of runs a *serial*
+        early-exiting loop would have performed (the first erroneous
+        index plus one) — so serial and parallel reductions traverse
+        identical seed streams and converge to identical fence sets.
+        """
+        base = self._check_counter
+        if self.parallel.serial:
+            first: int | None = None
+            for i in range(iterations):
+                result = run_application(
+                    self.app,
+                    self.chip,
+                    stress_spec=self.environment.strategy,
+                    randomise=self.environment.randomise,
+                    seed=derive_seed(
+                        self.seed, "check", self.app.name,
+                        self.chip.short_name, base + i + 1,
+                    ),
+                    fence_sites=fences,
+                )
+                if result.erroneous:
+                    first = i
+                    break
+        else:
+            shards = parallel_map(
+                _check_shard,
+                [
+                    (
+                        self.app, self.chip, self.environment, fences,
+                        self.seed, base, start, stop,
+                    )
+                    for start, stop in shard_ranges(
+                        iterations, self.parallel
+                    )
+                ],
+                self.parallel,
             )
-            if result.erroneous:
-                return False
-        return True
+            first = merge_check_shards(shards, iterations)
+        performed = iterations if first is None else first + 1
+        self._check_counter = base + performed
+        self.check_runs += performed
+        return first is None
 
     def empirically_stable(self, fences: frozenset[str]) -> bool:
         """The paper's one-hour stability check, at campaign scale."""
@@ -165,7 +230,15 @@ def empirical_fence_insertion(
     scale: Scale = DEFAULT,
     seed: int = 0,
     initial_iterations: int = 32,
+    parallel: ParallelConfig | None = None,
 ) -> InsertionResult:
-    """Run Algorithm 1 for one application on one chip."""
-    inserter = EmpiricalFenceInserter(app, chip, scale=scale, seed=seed)
+    """Run Algorithm 1 for one application on one chip.
+
+    ``parallel`` shards every candidate fence-set evaluation across
+    worker processes; the reduction path and final fence set are
+    identical to a serial run (see ``check_application``).
+    """
+    inserter = EmpiricalFenceInserter(
+        app, chip, scale=scale, seed=seed, parallel=parallel
+    )
     return inserter.run(initial_iterations=initial_iterations)

@@ -25,6 +25,14 @@ from ..chips.profile import HardwareProfile
 from ..gpu.addresses import AddressSpace
 from ..gpu.memory import MemorySystem
 from ..gpu.pressure import StressField
+from ..parallel import (
+    LitmusShard,
+    ParallelConfig,
+    merge_litmus_shards,
+    parallel_map,
+    resolve_config,
+    shard_ranges,
+)
 from ..rng import make_rng
 from .results import LitmusResult
 from .tests import LitmusTest
@@ -168,6 +176,44 @@ def _one_execution(
     )
 
 
+def _litmus_span(
+    profile: HardwareProfile,
+    instance: LitmusInstance,
+    stress_spec,
+    seed: int,
+    randomise: bool,
+    start: int,
+    stop: int,
+) -> int:
+    """Weak-behaviour count over executions ``[start, stop)``.
+
+    Each execution draws from its own seed stream, derived from the
+    experiment seed and the execution's *global* index — never from
+    shard-local state — so any partition of the execution range yields
+    the same statistics (the repro.parallel determinism contract).
+    """
+    weak = 0
+    for i in range(start, stop):
+        rng = make_rng(
+            seed, profile.short_name, instance.test.name, instance.distance, i
+        )
+        field = stress_spec.build(
+            profile, instance.scratch_base, instance.scratch_size, rng
+        )
+        if _one_execution(profile, instance, field, rng, randomise):
+            weak += 1
+    return weak
+
+
+def _litmus_shard(args: tuple) -> LitmusShard:
+    """Process-pool worker: one execution shard of one litmus instance."""
+    profile, instance, stress_spec, seed, randomise, start, stop = args
+    weak = _litmus_span(
+        profile, instance, stress_spec, seed, randomise, start, stop
+    )
+    return LitmusShard(start=start, stop=stop, weak=weak)
+
+
 def run_litmus(
     profile: HardwareProfile,
     test: LitmusTest,
@@ -176,6 +222,7 @@ def run_litmus(
     executions: int,
     seed: int = 0,
     randomise: bool = False,
+    parallel: ParallelConfig | None = None,
 ) -> LitmusResult:
     """Run ``executions`` runs of test instance ``T_distance``.
 
@@ -184,16 +231,27 @@ def run_litmus(
     (see :mod:`repro.stress.strategies`); it is re-invoked per execution
     so that randomised choices (stressing thread count, random spread
     locations) vary between runs as in the paper.
+
+    ``parallel`` shards the execution batch across worker processes;
+    serial and parallel runs produce identical results because every
+    execution is seeded from its global index.
     """
+    config = resolve_config(parallel)
     instance = LitmusInstance.layout(profile, test, distance)
-    weak = 0
-    for i in range(executions):
-        rng = make_rng(seed, profile.short_name, test.name, distance, i)
-        field = stress_spec.build(
-            profile, instance.scratch_base, instance.scratch_size, rng
+    if config.serial:
+        weak = _litmus_span(
+            profile, instance, stress_spec, seed, randomise, 0, executions
         )
-        if _one_execution(profile, instance, field, rng, randomise):
-            weak += 1
+    else:
+        shards = parallel_map(
+            _litmus_shard,
+            [
+                (profile, instance, stress_spec, seed, randomise, start, stop)
+                for start, stop in shard_ranges(executions, config)
+            ],
+            config,
+        )
+        weak = merge_litmus_shards(shards, executions)
     locations = tuple(getattr(stress_spec, "locations", ()) or ())
     return LitmusResult(
         test=test.name,

@@ -40,6 +40,21 @@ class LitmusTest:
         return tuple(regs)
 
 
+# The weak predicates are module-level functions (not lambdas) so that
+# tests pickle by reference and can cross process boundaries when litmus
+# campaigns are sharded (see repro.parallel).
+def _mp_weak(regs: dict[str, int]) -> bool:
+    return regs["r1"] == 1 and regs["r2"] == 0
+
+
+def _lb_weak(regs: dict[str, int]) -> bool:
+    return regs["r1"] == 1 and regs["r2"] == 1
+
+
+def _sb_weak(regs: dict[str, int]) -> bool:
+    return regs["r1"] == 0 and regs["r2"] == 0
+
+
 MP = LitmusTest(
     name="MP",
     description=(
@@ -48,7 +63,7 @@ MP = LitmusTest(
     ),
     thread0=(("st", "x", 1), ("st", "y", 1)),
     thread1=(("ld", "y", "r1"), ("ld", "x", "r2")),
-    weak=lambda regs: regs["r1"] == 1 and regs["r2"] == 0,
+    weak=_mp_weak,
 )
 
 LB = LitmusTest(
@@ -59,7 +74,7 @@ LB = LitmusTest(
     ),
     thread0=(("ld", "x", "r1"), ("st", "y", 1)),
     thread1=(("ld", "y", "r2"), ("st", "x", 1)),
-    weak=lambda regs: regs["r1"] == 1 and regs["r2"] == 1,
+    weak=_lb_weak,
 )
 
 SB = LitmusTest(
@@ -70,7 +85,7 @@ SB = LitmusTest(
     ),
     thread0=(("st", "x", 1), ("ld", "y", "r1")),
     thread1=(("st", "y", 1), ("ld", "x", "r2")),
-    weak=lambda regs: regs["r1"] == 0 and regs["r2"] == 0,
+    weak=_sb_weak,
 )
 
 ALL_TESTS = (MP, LB, SB)

@@ -1,0 +1,124 @@
+"""The process-pool executor and work-sharding helpers.
+
+``parallel_map`` is deliberately minimal: ordered results, chunked
+submission, and a serial fast path that never touches multiprocessing.
+Harness code stays correct-by-construction because per-item seeds are
+derived from global indices (see the package docstring), so the only
+job of this module is to move picklable work specs to workers and bring
+shard records back.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Worker-pool knobs shared by every parallel harness.
+
+    * ``jobs`` — worker processes; ``1`` means serial in-process
+      execution (the default everywhere), ``0`` means one per CPU.
+    * ``chunks_per_job`` — target number of work batches per worker;
+      more batches smooth load imbalance, fewer reduce dispatch
+      overhead.  Chunking never affects results (the determinism
+      contract), only wall-clock.
+    """
+
+    jobs: int = 1
+    chunks_per_job: int = 4
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ReproError(
+                f"jobs must be >= 0 (0 = one per CPU), got {self.jobs}"
+            )
+        if self.chunks_per_job < 1:
+            raise ReproError(
+                f"chunks_per_job must be >= 1, got {self.chunks_per_job}"
+            )
+
+    def resolve_jobs(self) -> int:
+        """The concrete worker count (``0`` resolved to the CPU count)."""
+        if self.jobs == 0:
+            return os.cpu_count() or 1
+        return self.jobs
+
+    @property
+    def serial(self) -> bool:
+        """True when execution stays in-process."""
+        return self.resolve_jobs() <= 1
+
+
+#: The default configuration: everything runs in-process.
+SERIAL = ParallelConfig(jobs=1)
+
+
+def resolve_config(parallel: ParallelConfig | None, scale=None) -> ParallelConfig:
+    """Effective configuration for a harness call.
+
+    An explicit ``parallel`` argument wins; otherwise the ``jobs`` knob
+    of the supplied :class:`~repro.scale.Scale` (when present) is used,
+    falling back to serial execution.
+    """
+    if parallel is not None:
+        return parallel
+    jobs = getattr(scale, "jobs", 1) if scale is not None else 1
+    return SERIAL if jobs == 1 else ParallelConfig(jobs=jobs)
+
+
+def shard_ranges(
+    n: int, config: ParallelConfig
+) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into contiguous ``(start, stop)`` shards.
+
+    Serial configurations get a single shard.  Parallel configurations
+    get about ``chunks_per_job`` shards per worker (never more than
+    ``n``), sized within one item of each other.  Shard boundaries are a
+    pure function of ``(n, config)`` but, by the determinism contract,
+    results must not depend on them anyway.
+    """
+    if n < 0:
+        raise ReproError(f"cannot shard a negative range ({n})")
+    if n == 0:
+        return []
+    if config.serial:
+        return [(0, n)]
+    n_shards = min(n, config.resolve_jobs() * config.chunks_per_job)
+    base, extra = divmod(n, n_shards)
+    ranges = []
+    start = 0
+    for i in range(n_shards):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    config: ParallelConfig = SERIAL,
+) -> list:
+    """Apply ``fn`` to every item, preserving input order.
+
+    With a serial configuration (or at most one item) this is a plain
+    in-process loop — no pool, no pickling.  Otherwise items are
+    dispatched to a process pool in chunks; ``fn`` must be defined at
+    module level and every item must be picklable (pass registry-backed
+    specs, not live engines).
+    """
+    work: Sequence = items if isinstance(items, Sequence) else list(items)
+    if config.serial or len(work) <= 1:
+        return [fn(item) for item in work]
+    workers = min(config.resolve_jobs(), len(work))
+    chunksize = max(
+        1, len(work) // (workers * config.chunks_per_job)
+    )
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, work, chunksize=chunksize))

@@ -16,6 +16,7 @@ from ..chips.registry import all_chips, get_chip, table1_rows
 from ..costs.report import figure5_points, overhead_summary
 from ..hardening.insertion import empirical_fence_insertion
 from ..litmus.tests import ALL_TESTS
+from ..parallel import ParallelConfig, resolve_config
 from ..scale import DEFAULT, Scale, get_scale
 from ..stress.environment import ENVIRONMENT_ORDER
 from ..stress.sequences import format_sequence
@@ -29,7 +30,11 @@ from .figures import render_bars, render_series
 from .tables import render_table
 
 
-def table1(scale: Scale = DEFAULT, seed: int = 0) -> str:
+def table1(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    parallel: ParallelConfig | None = None,
+) -> str:
     """Table 1: the seven studied GPUs."""
     return render_table(
         table1_rows(), title="Table 1: the seven Nvidia GPUs we study"
@@ -37,13 +42,16 @@ def table1(scale: Scale = DEFAULT, seed: int = 0) -> str:
 
 
 def figure3(
-    scale: Scale = DEFAULT, seed: int = 0, chips: tuple[str, ...] = ("Titan", "C2075", "980")
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    chips: tuple[str, ...] = ("Titan", "C2075", "980"),
+    parallel: ParallelConfig | None = None,
 ) -> str:
     """Figure 3: patch finding bar strips for MP and LB."""
     out = []
     for name in chips:
         chip = get_chip(name)
-        scan = scan_patches(chip, scale, seed)
+        scan = scan_patches(chip, scale, seed, parallel=parallel)
         patch, _per_test = critical_patch_size(scan)
         out.append(
             f"Figure 3 ({chip.name}): critical patch size {patch} "
@@ -62,7 +70,10 @@ def figure3(
 
 
 def table2(
-    scale: Scale = DEFAULT, seed: int = 0, chips: tuple[str, ...] | None = None
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    chips: tuple[str, ...] | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> str:
     """Table 2: tuned stressing parameters per chip (full pipeline)."""
     rows = []
@@ -70,7 +81,7 @@ def table2(
         c.short_name for c in all_chips()
     )
     for name in names:
-        result = tune_chip(get_chip(name), scale, seed)
+        result = tune_chip(get_chip(name), scale, seed, parallel=parallel)
         row = result.table2_row()
         truth = shipped_params(name)
         row["matches paper"] = (
@@ -88,10 +99,17 @@ def table2(
     )
 
 
-def table3(scale: Scale = DEFAULT, seed: int = 0, chip: str = "Titan") -> str:
+def table3(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    chip: str = "Titan",
+    parallel: ParallelConfig | None = None,
+) -> str:
     """Table 3: access-sequence ranking snippet for Titan."""
     profile = get_chip(chip)
-    scores = score_sequences(profile, profile.patch_size, scale, seed)
+    scores = score_sequences(
+        profile, profile.patch_size, scale, seed, parallel=parallel
+    )
     best = select_sequence(scores)
     out = [
         f"Table 3: snippet of sigmas and scores for {chip} "
@@ -103,14 +121,18 @@ def table3(scale: Scale = DEFAULT, seed: int = 0, chip: str = "Titan") -> str:
 
 
 def figure4(
-    scale: Scale = DEFAULT, seed: int = 0, chips: tuple[str, ...] = ("980", "K20")
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    chips: tuple[str, ...] = ("980", "K20"),
+    parallel: ParallelConfig | None = None,
 ) -> str:
     """Figure 4: spread-finding score curves."""
     out = []
     for name in chips:
         chip = get_chip(name)
         scores = score_spreads(
-            chip, chip.patch_size, chip.best_sequence, scale, seed
+            chip, chip.patch_size, chip.best_sequence, scale, seed,
+            parallel=parallel,
         )
         series = {
             test.name: [
@@ -131,7 +153,11 @@ def figure4(
     return "\n".join(out)
 
 
-def table4(scale: Scale = DEFAULT, seed: int = 0) -> str:
+def table4(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    parallel: ParallelConfig | None = None,
+) -> str:
     """Table 4: the application case studies."""
     return render_table(
         table4_rows(), title="Table 4: the case studies we consider"
@@ -143,6 +169,7 @@ def table5(
     seed: int = 0,
     chips: tuple[str, ...] | None = None,
     environments: tuple[str, ...] | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> str:
     """Table 5: testing-environment effectiveness grid."""
     chip_objs = [
@@ -151,7 +178,8 @@ def table5(
     ]
     env_names = list(environments or ENVIRONMENT_ORDER)
     cells = run_campaign(
-        chip_objs, environments=env_names, scale=scale, seed=seed
+        chip_objs, environments=env_names, scale=scale, seed=seed,
+        parallel=parallel,
     )
     table = table5_summary(cells)
     rows = []
@@ -175,6 +203,7 @@ def table6(
     seed: int = 0,
     chip: str = "Titan",
     apps: tuple[str, ...] | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> str:
     """Table 6: empirical fence insertion results."""
     from ..apps.registry import fence_free_applications, get_application
@@ -187,7 +216,7 @@ def table6(
     rows = []
     for app in targets:
         result = empirical_fence_insertion(
-            app, get_chip(chip), scale=scale, seed=seed
+            app, get_chip(chip), scale=scale, seed=seed, parallel=parallel
         )
         row = result.table6_row()
         row["reduced fences"] = ", ".join(sorted(result.reduced))
@@ -201,7 +230,11 @@ def figure5(
     scale: Scale = DEFAULT,
     seed: int = 0,
     chips: tuple[str, ...] | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> str:
+    # Cost measurement (Sec. 6) repeats runs until enough *passing*
+    # executions accumulate, a sequentially dependent loop; it stays
+    # serial and accepts ``parallel`` only for interface uniformity.
     """Figure 5: fence cost scatter data and overhead summary."""
     chip_objs = [
         get_chip(c)
@@ -254,9 +287,18 @@ EXPERIMENTS = {
 
 
 def run_experiment(
-    name: str, scale: str | Scale = "smoke", seed: int = 0, **kwargs
+    name: str,
+    scale: str | Scale = "smoke",
+    seed: int = 0,
+    jobs: int | None = None,
+    **kwargs,
 ) -> str:
-    """Regenerate one paper artefact by id (see ``EXPERIMENTS``)."""
+    """Regenerate one paper artefact by id (see ``EXPERIMENTS``).
+
+    ``jobs`` shards the experiment's run loops over worker processes
+    (``0`` = one per CPU); the regenerated artefact is identical at any
+    job count.  ``None`` defers to the scale's ``jobs`` knob.
+    """
     if isinstance(scale, str):
         scale = get_scale(scale)
     try:
@@ -265,4 +307,7 @@ def run_experiment(
         raise ValueError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return fn(scale=scale, seed=seed, **kwargs)
+    parallel = resolve_config(
+        ParallelConfig(jobs=jobs) if jobs is not None else None, scale
+    )
+    return fn(scale=scale, seed=seed, parallel=parallel, **kwargs)

@@ -12,6 +12,7 @@ every harness can be run at ``smoke`` (CI), ``default`` (interactive) or
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from .errors import ReproError
@@ -33,6 +34,9 @@ class Scale:
     * ``campaign_runs`` — executions per (chip, app, environment) cell,
       standing in for the paper's one-hour wall-clock budget.
     * ``stability_runs`` — executions for an ``EmpiricallyStable`` check.
+    * ``jobs`` — worker processes for the parallel subsystem
+      (:mod:`repro.parallel`); ``1`` = serial, ``0`` = one per CPU.
+      Results are identical at any job count; only wall-clock changes.
     """
 
     name: str
@@ -52,6 +56,11 @@ class Scale:
     seq_executions: int = 32
     spread_distance_step: int = 64
     spread_executions: int = 48
+    jobs: int = 1
+
+    def with_jobs(self, jobs: int) -> "Scale":
+        """Copy of this preset with a different worker count."""
+        return dataclasses.replace(self, jobs=jobs)
 
 
 SMOKE = Scale(

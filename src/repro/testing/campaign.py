@@ -14,6 +14,14 @@ from dataclasses import dataclass
 from ..apps.base import Application, run_application
 from ..apps.registry import all_applications
 from ..chips.profile import HardwareProfile
+from ..parallel import (
+    CellShard,
+    ParallelConfig,
+    merge_cell_shards,
+    parallel_map,
+    resolve_config,
+    shard_ranges,
+)
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
 from ..stress.environment import TestingEnvironment, standard_environments
@@ -36,17 +44,17 @@ class CampaignCell:
         return self.errors / self.runs if self.runs else 0.0
 
 
-def run_cell(
-    app: Application,
-    chip: HardwareProfile,
-    env: TestingEnvironment,
-    runs: int,
-    seed: int = 0,
-) -> CampaignCell:
-    """Run one campaign cell (one table entry of the raw data)."""
+def _cell_shard(args: tuple) -> CellShard:
+    """Process-pool worker: campaign runs ``[start, stop)`` of one cell.
+
+    Run ``i`` of a cell always draws from the seed stream derived from
+    its global index, so any sharding of the run range reproduces the
+    serial statistics exactly.
+    """
+    cell, app, chip, env, seed, start, stop = args
     errors = 0
     timeouts = 0
-    for i in range(runs):
+    for i in range(start, stop):
         result = run_application(
             app,
             chip,
@@ -58,6 +66,30 @@ def run_cell(
             errors += 1
         if result.timed_out:
             timeouts += 1
+    return CellShard(
+        cell=cell, start=start, stop=stop, errors=errors, timeouts=timeouts
+    )
+
+
+def run_cell(
+    app: Application,
+    chip: HardwareProfile,
+    env: TestingEnvironment,
+    runs: int,
+    seed: int = 0,
+    parallel: ParallelConfig | None = None,
+) -> CampaignCell:
+    """Run one campaign cell (one table entry of the raw data)."""
+    config = resolve_config(parallel)
+    shards = parallel_map(
+        _cell_shard,
+        [
+            (0, app, chip, env, seed, start, stop)
+            for start, stop in shard_ranges(runs, config)
+        ],
+        config,
+    )
+    errors, timeouts = merge_cell_shards(shards, runs).get(0, (0, 0))
     return CampaignCell(
         chip=chip.short_name,
         app=app.name,
@@ -74,22 +106,49 @@ def run_campaign(
     environments: list[str] | None = None,
     scale: Scale = DEFAULT,
     seed: int = 0,
+    parallel: ParallelConfig | None = None,
 ) -> list[CampaignCell]:
     """Run the full Sec. 4 campaign grid.
 
     ``environments`` filters by name (e.g. ``["sys-str+", "no-str-"]``);
     None runs all eight.
+
+    Under ``parallel`` the whole grid is flattened into (cell × run
+    chunk) shards and dispatched to one worker pool, so small grids with
+    slow cells still keep every worker busy; shard outputs are reduced
+    back into per-cell :class:`CampaignCell` statistics that match a
+    serial run bit for bit.
     """
+    config = resolve_config(parallel, scale)
     if apps is None:
         apps = all_applications()
-    cells = []
+    grid: list[tuple[HardwareProfile, Application, TestingEnvironment]] = []
     for chip in chips:
         envs = standard_environments(shipped_params(chip.short_name))
         if environments is not None:
             envs = [e for e in envs if e.name in environments]
         for app in apps:
             for env in envs:
-                cells.append(
-                    run_cell(app, chip, env, scale.campaign_runs, seed)
-                )
+                grid.append((chip, app, env))
+    runs = scale.campaign_runs
+    work = [
+        (index, app, chip, env, seed, start, stop)
+        for index, (chip, app, env) in enumerate(grid)
+        for start, stop in shard_ranges(runs, config)
+    ]
+    shards = parallel_map(_cell_shard, work, config)
+    merged = merge_cell_shards(shards, runs)
+    cells = []
+    for index, (chip, app, env) in enumerate(grid):
+        errors, timeouts = merged.get(index, (0, 0))
+        cells.append(
+            CampaignCell(
+                chip=chip.short_name,
+                app=app.name,
+                environment=env.name,
+                errors=errors,
+                timeouts=timeouts,
+                runs=runs,
+            )
+        )
     return cells

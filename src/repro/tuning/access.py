@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from ..chips.profile import HardwareProfile
 from ..litmus import ALL_TESTS, run_litmus
+from ..parallel import ParallelConfig, parallel_map, resolve_config
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
 from ..stress.strategies import FixedLocationStress
@@ -56,36 +57,61 @@ class SequenceScores:
         return out
 
 
+def _sequence_cell(args: tuple) -> int:
+    """Process-pool worker: one ⟨T_d, σ@l⟩ grid point."""
+    chip, seq, test, d, l, executions, seed = args
+    spec = FixedLocationStress((l,), seq)
+    result = run_litmus(
+        chip,
+        test,
+        d,
+        spec,
+        executions,
+        seed=derive_seed(seed, "seq", seq, test.name, d, l),
+    )
+    return result.weak
+
+
 def score_sequences(
     chip: HardwareProfile,
     patch_size: int,
     scale: Scale = DEFAULT,
     seed: int = 0,
+    parallel: ParallelConfig | None = None,
 ) -> SequenceScores:
-    """Score every σ up to the scale's maximum length."""
+    """Score every σ up to the scale's maximum length.
+
+    The (σ × test × distance × location) grid is embarrassingly
+    parallel; each point derives its own seed from its coordinates, so
+    sharding the grid across worker processes (``parallel``) leaves the
+    scores bit-identical.
+    """
+    config = resolve_config(parallel, scale)
     locations = tuple(range(0, scale.max_location, patch_size))
     distances = tuple(range(0, scale.max_distance, scale.seq_distance_step))
     scores = SequenceScores(
         chip=chip.short_name, tests=tuple(t.name for t in ALL_TESTS)
     )
-    for seq in all_sequences(scale.max_sequence_length):
-        per_test: dict[str, int] = {}
-        for test in ALL_TESTS:
-            weak = 0
-            for d in distances:
-                for l in locations:
-                    spec = FixedLocationStress((l,), seq)
-                    result = run_litmus(
-                        chip,
-                        test,
-                        d,
-                        spec,
-                        scale.seq_executions,
-                        seed=derive_seed(seed, "seq", seq, test.name, d, l),
-                    )
-                    weak += result.weak
-            per_test[test.name] = weak
-        scores.scores[seq] = per_test
+    sequences = all_sequences(scale.max_sequence_length)
+    grid = [
+        (seq, test, d, l)
+        for seq in sequences
+        for test in ALL_TESTS
+        for d in distances
+        for l in locations
+    ]
+    counts = parallel_map(
+        _sequence_cell,
+        [
+            (chip, seq, test, d, l, scale.seq_executions, seed)
+            for seq, test, d, l in grid
+        ],
+        config,
+    )
+    for seq in sequences:
+        scores.scores[seq] = {t.name: 0 for t in ALL_TESTS}
+    for (seq, test, _d, _l), weak in zip(grid, counts):
+        scores.scores[seq][test.name] += weak
     return scores
 
 

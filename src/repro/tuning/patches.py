@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from ..chips.profile import HardwareProfile
 from ..litmus import ALL_TESTS, LitmusTest, run_litmus
+from ..parallel import ParallelConfig, parallel_map, resolve_config
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
 from ..stress.strategies import FixedLocationStress
@@ -51,13 +52,35 @@ class PatchScan:
         return [self.counts[(test, distance, l)] for l in self.locations]
 
 
+def _patch_cell(args: tuple) -> int:
+    """Process-pool worker: one ⟨T_d, l⟩ grid point of a patch scan."""
+    chip, test, d, l, executions, seed = args
+    spec = FixedLocationStress((l,), PROBE_SEQUENCE)
+    result = run_litmus(
+        chip,
+        test,
+        d,
+        spec,
+        executions,
+        seed=derive_seed(seed, "patch", test.name, d, l),
+    )
+    return result.weak
+
+
 def scan_patches(
     chip: HardwareProfile,
     scale: Scale = DEFAULT,
     seed: int = 0,
     tests: tuple[LitmusTest, ...] = ALL_TESTS,
+    parallel: ParallelConfig | None = None,
 ) -> PatchScan:
-    """Run the ⟨T_d, l⟩ grid for one chip."""
+    """Run the ⟨T_d, l⟩ grid for one chip.
+
+    Grid points are independent (each derives its own seed from its
+    coordinates), so with ``parallel`` the whole grid fans out across
+    worker processes with statistics identical to a serial run.
+    """
+    config = resolve_config(parallel, scale)
     distances = tuple(range(0, scale.max_distance, scale.distance_step))
     locations = tuple(range(0, scale.max_location, scale.location_step))
     scan = PatchScan(
@@ -66,19 +89,19 @@ def scan_patches(
         distances=distances,
         locations=locations,
     )
-    for test in tests:
-        for d in distances:
-            for l in locations:
-                spec = FixedLocationStress((l,), PROBE_SEQUENCE)
-                result = run_litmus(
-                    chip,
-                    test,
-                    d,
-                    spec,
-                    scale.executions,
-                    seed=derive_seed(seed, "patch", test.name, d, l),
-                )
-                scan.counts[(test.name, d, l)] = result.weak
+    grid = [
+        (test, d, l) for test in tests for d in distances for l in locations
+    ]
+    counts = parallel_map(
+        _patch_cell,
+        [
+            (chip, test, d, l, scale.executions, seed)
+            for test, d, l in grid
+        ],
+        config,
+    )
+    for (test, d, l), weak in zip(grid, counts):
+        scan.counts[(test.name, d, l)] = weak
     return scan
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from ..chips.profile import HardwareProfile
 from ..chips.registry import get_chip
+from ..parallel import ParallelConfig, resolve_config
 from ..scale import DEFAULT, Scale
 from ..stress.config import StressConfig
 from .access import SequenceScores, score_sequences, select_sequence
@@ -46,14 +47,25 @@ def tune_chip(
     chip: HardwareProfile,
     scale: Scale = DEFAULT,
     seed: int = 0,
+    parallel: ParallelConfig | None = None,
 ) -> TunedResult:
-    """Run patch finding, sequence scoring and spread finding in order."""
+    """Run patch finding, sequence scoring and spread finding in order.
+
+    The three stages are sequential (each consumes the previous stage's
+    selection), but every stage's search grid is sharded across worker
+    processes under ``parallel`` with results identical to a serial run.
+    """
+    parallel_config = resolve_config(parallel, scale)
     started = time.perf_counter()
-    scan = scan_patches(chip, scale, seed)
+    scan = scan_patches(chip, scale, seed, parallel=parallel_config)
     patch, per_test = critical_patch_size(scan)
-    seq_scores = score_sequences(chip, patch, scale, seed)
+    seq_scores = score_sequences(
+        chip, patch, scale, seed, parallel=parallel_config
+    )
     sequence = select_sequence(seq_scores)
-    spread_scores = score_spreads(chip, patch, sequence, scale, seed)
+    spread_scores = score_spreads(
+        chip, patch, sequence, scale, seed, parallel=parallel_config
+    )
     spread = select_spread(spread_scores)
     config = StressConfig(
         chip=chip.short_name,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from ..chips.profile import HardwareProfile
 from ..litmus import ALL_TESTS, run_litmus
+from ..parallel import ParallelConfig, parallel_map, resolve_config
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
 from ..stress.config import StressConfig
@@ -36,44 +37,69 @@ class SpreadScores:
         return sum(self.scores[m].values())
 
 
+def _spread_cell(args: tuple) -> int:
+    """Process-pool worker: one ⟨T_d, σ@L_m⟩ grid point."""
+    chip, spec, m, test, d, executions, seed = args
+    result = run_litmus(
+        chip,
+        test,
+        d,
+        spec,
+        executions,
+        seed=derive_seed(seed, "spread", m, test.name, d),
+    )
+    return result.weak
+
+
 def score_spreads(
     chip: HardwareProfile,
     patch_size: int,
     sequence: tuple[str, ...],
     scale: Scale = DEFAULT,
     seed: int = 0,
+    parallel: ParallelConfig | None = None,
 ) -> SpreadScores:
-    """Score each spread 1..M for one chip."""
+    """Score each spread 1..M for one chip.
+
+    The (m × test × distance) grid fans out across worker processes
+    under ``parallel``; per-point seed derivation keeps the scores
+    identical to a serial run.
+    """
+    config = resolve_config(parallel, scale)
     distances = tuple(
         range(0, scale.max_distance, scale.spread_distance_step)
     )
     scores = SpreadScores(
         chip=chip.short_name, tests=tuple(t.name for t in ALL_TESTS)
     )
-    for m in range(1, scale.max_spread + 1):
-        config = StressConfig(
-            chip=chip.short_name,
-            patch_size=patch_size,
-            sequence=sequence,
-            spread=m,
-            scratch_regions=scale.max_spread,
+    spreads = tuple(range(1, scale.max_spread + 1))
+    specs = {
+        m: TunedStress(
+            StressConfig(
+                chip=chip.short_name,
+                patch_size=patch_size,
+                sequence=sequence,
+                spread=m,
+                scratch_regions=scale.max_spread,
+            )
         )
-        spec = TunedStress(config)
-        per_test: dict[str, int] = {}
-        for test in ALL_TESTS:
-            weak = 0
-            for d in distances:
-                result = run_litmus(
-                    chip,
-                    test,
-                    d,
-                    spec,
-                    scale.spread_executions,
-                    seed=derive_seed(seed, "spread", m, test.name, d),
-                )
-                weak += result.weak
-            per_test[test.name] = weak
-        scores.scores[m] = per_test
+        for m in spreads
+    }
+    grid = [
+        (m, test, d) for m in spreads for test in ALL_TESTS for d in distances
+    ]
+    counts = parallel_map(
+        _spread_cell,
+        [
+            (chip, specs[m], m, test, d, scale.spread_executions, seed)
+            for m, test, d in grid
+        ],
+        config,
+    )
+    for m in spreads:
+        scores.scores[m] = {t.name: 0 for t in ALL_TESTS}
+    for (m, test, _d), weak in zip(grid, counts):
+        scores.scores[m][test.name] += weak
     return scores
 
 
