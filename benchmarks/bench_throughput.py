@@ -1,0 +1,153 @@
+"""Litmus-execution throughput: the repo's performance trajectory anchor.
+
+The paper's methodology is brute force — nearly half a billion litmus
+executions (Sec. 3) — so single-worker executions/second is the number
+every tuning grid, campaign cell and fence-insertion check multiplies.
+This benchmark measures it for the canonical hot workload (K20, MP at
+distance 2 x patch size, tuned ``sys-str`` stressing, fixed seed) plus a
+no-stress variant and a sharded run, and deposits the measurements into
+``BENCH_throughput.json`` via the ``bench_json`` emitter fixture::
+
+    REPRO_BENCH_JSON=BENCH_throughput.json \
+        pytest benchmarks/bench_throughput.py -s
+
+Each measurement also re-checks the fixed-seed weak count against the
+golden value captured from the pre-refactor core, so a throughput win
+can never come from silently changing the model (the full pinning lives
+in ``tests/test_golden_stats.py``).
+
+``reference.pre_pr_serial_exec_per_sec`` is the pre-overhaul core
+measured on the PR's development machine (best of six 1000-execution
+runs, same workload); the hot-path overhaul measured 3.0-3.3x that on
+the same machine.  The ratio is only meaningful for runs on comparable
+hardware — the JSON records the current machine's absolute numbers.
+
+Timing is done directly with ``time.perf_counter`` (best of ``_REPS``)
+so the benchmark runs without pytest-benchmark installed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.chips import get_chip
+from repro.litmus import MP, run_litmus
+from repro.litmus.runner import LitmusInstance, _litmus_span
+from repro.parallel import ParallelConfig
+from repro.stress.strategies import NoStress, TunedStress
+from repro.tuning.pipeline import shipped_params
+
+#: Executions per timed run (override for quick smoke: the golden-count
+#: cross-check only applies at the default size).
+_EXECUTIONS = int(os.environ.get("REPRO_BENCH_THROUGHPUT_EXECUTIONS", "600"))
+_SEED = 7
+_REPS = 3
+
+#: Fixed-seed weak counts of this workload on the pre-refactor core.
+_GOLDEN_WEAK_SYS = 130
+_GOLDEN_WEAK_NO = 0
+
+#: Pre-overhaul throughput on the PR's development machine (see module
+#: docstring); kept in the JSON so the perf trajectory has an anchor.
+_REFERENCE = {
+    "workload": "K20/MP d=2*patch sys-str serial, seed 7",
+    "pre_pr_serial_exec_per_sec": 1679.0,
+    "note": "best-of-6 on the PR-2 dev container; compare only on "
+    "the same machine",
+}
+
+
+def _best_rate(run, executions):
+    best = 0.0
+    weak = None
+    for _ in range(_REPS):
+        start = time.perf_counter()
+        weak = run()
+        elapsed = time.perf_counter() - start
+        best = max(best, executions / elapsed)
+    return best, weak
+
+
+def _layout(chip):
+    return LitmusInstance.layout(chip, MP, 2 * chip.patch_size)
+
+
+def test_serial_sys_str_throughput(bench_json):
+    chip = get_chip("K20")
+    spec = TunedStress(shipped_params("K20"))
+    instance = _layout(chip)
+    _litmus_span(chip, instance, spec, _SEED, False, 0, 50)  # warm caches
+
+    rate, weak = _best_rate(
+        lambda: _litmus_span(
+            chip, instance, spec, _SEED, False, 0, _EXECUTIONS
+        ),
+        _EXECUTIONS,
+    )
+    if _EXECUTIONS == 600:
+        assert weak == _GOLDEN_WEAK_SYS  # golden tie-in
+    assert rate > 0
+    bench_json.setdefault("reference", _REFERENCE)
+    bench_json["serial_sys_str"] = {
+        "executions": _EXECUTIONS,
+        "weak": weak,
+        "exec_per_sec": round(rate, 1),
+    }
+    print(f"\nserial sys-str: {rate:,.0f} executions/s (weak={weak})")
+
+
+def test_serial_no_str_throughput(bench_json):
+    chip = get_chip("K20")
+    spec = NoStress()
+    instance = _layout(chip)
+    _litmus_span(chip, instance, spec, _SEED, False, 0, 50)
+
+    rate, weak = _best_rate(
+        lambda: _litmus_span(
+            chip, instance, spec, _SEED, False, 0, _EXECUTIONS
+        ),
+        _EXECUTIONS,
+    )
+    if _EXECUTIONS == 600:
+        assert weak == _GOLDEN_WEAK_NO
+    bench_json["serial_no_str"] = {
+        "executions": _EXECUTIONS,
+        "weak": weak,
+        "exec_per_sec": round(rate, 1),
+    }
+    print(f"\nserial no-str: {rate:,.0f} executions/s (weak={weak})")
+
+
+def test_sharded_sys_str_throughput(bench_json, bench_jobs):
+    """Same workload through run_litmus with REPRO_BENCH_JOBS workers
+    (jobs=1 exercises the serial public path).  Statistics are identical
+    at any job count — only wall-clock changes."""
+    chip = get_chip("K20")
+    spec = TunedStress(shipped_params("K20"))
+
+    def run():
+        return run_litmus(
+            chip,
+            MP,
+            2 * chip.patch_size,
+            spec,
+            executions=_EXECUTIONS,
+            seed=_SEED,
+            parallel=ParallelConfig(jobs=bench_jobs),
+        ).weak
+
+    run()  # warm caches / worker pool
+    rate, weak = _best_rate(run, _EXECUTIONS)
+    if _EXECUTIONS == 600:
+        assert weak == _GOLDEN_WEAK_SYS
+    bench_json["sharded_sys_str"] = {
+        "executions": _EXECUTIONS,
+        "jobs": bench_jobs,
+        "weak": weak,
+        "exec_per_sec": round(rate, 1),
+    }
+    print(
+        f"\nsharded sys-str (jobs={bench_jobs}): "
+        f"{rate:,.0f} executions/s (weak={weak})"
+    )

@@ -19,12 +19,33 @@ timed wall-clock changes, e.g.::
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 
 import pytest
 
 from repro.parallel import ParallelConfig
 from repro.scale import SMOKE
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Session-wide JSON record emitter.
+
+    Benchmarks deposit structured measurements into the yielded dict
+    (``bench_json["name"] = {...}``); at session end the collected
+    records are written to the path named by ``REPRO_BENCH_JSON`` (e.g.
+    ``REPRO_BENCH_JSON=BENCH_throughput.json``).  Without the variable
+    the records are simply discarded, so the benchmarks run unchanged
+    in plain interactive use.
+    """
+    records: dict[str, object] = {}
+    yield records
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if path and records:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2, sort_keys=True)
+            fh.write("\n")
 
 
 @pytest.fixture

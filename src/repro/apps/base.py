@@ -28,7 +28,7 @@ from ..gpu.addresses import AddressSpace
 from ..gpu.engine import Engine, ExecutionResult
 from ..gpu.kernel import Kernel, LaunchConfig
 from ..gpu.memory import MemorySystem
-from ..rng import make_rng
+from ..rng import BufferedRNG, make_rng
 from ..stress.strategies import NoStress, with_threads_range
 
 #: Default per-kernel tick budget for applications (paper: 30 s timeout,
@@ -116,7 +116,11 @@ def run_application(
         stress_spec = NoStress()
     if fence_sites is None:
         fence_sites = app.base_fences
-    rng = make_rng(seed, "app", app.name, chip.short_name)
+    # BufferedRNG serves the memory system's scalar draws from block
+    # pre-draws of the identical stream; the engine's scheduler
+    # interleaves other distributions every tick, in which case the
+    # wrapper degrades itself to direct delegation (see repro.rng).
+    rng = BufferedRNG(make_rng(seed, "app", app.name, chip.short_name))
 
     # Buffers are allocated with cudaMalloc's 256-byte (64-word)
     # alignment, so distinct buffers occupy distinct patches.

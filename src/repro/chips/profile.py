@@ -72,6 +72,47 @@ class HardwareProfile:
     active_watts: float = 110.0
     supports_power: bool = False
 
+    def __post_init__(self) -> None:
+        # Precompute the address→channel arithmetic.  All shipped chips
+        # have power-of-two patch sizes and channel counts, so the
+        # hot-path mapping reduces to a shift and a mask; the division
+        # form remains as the general fallback.  (``object.__setattr__``
+        # because the dataclass is frozen.)
+        if _is_pow2(self.patch_size) and _is_pow2(self.n_channels):
+            shift = self.patch_size.bit_length() - 1
+            mask = self.n_channels - 1
+        else:  # pragma: no cover - no shipped chip takes this path
+            shift = None
+            mask = None
+        object.__setattr__(self, "channel_shift", shift)
+        object.__setattr__(self, "channel_mask", mask)
+        # Hashable identity token for caches keyed by the chip's
+        # weak-memory personality (see repro.gpu.memory's table cache).
+        # The profile itself is unhashable (``app_bias`` is a dict).
+        object.__setattr__(
+            self,
+            "cache_token",
+            (
+                self.name,
+                self.short_name,
+                self.seed,
+                self.patch_size,
+                self.n_channels,
+                self.n_sms,
+                self.sensitivity_floor,
+                self.reorder_base,
+                self.store_swap_leak,
+                self.store_store_min_distance,
+                self.load_delay_base,
+                self.reorder_gain,
+                self.load_delay_gain,
+                self.latency_gain,
+                self.cross_channel_weight,
+                self.pressure_threshold,
+                self.turbulence_factors,
+            ),
+        )
+
     # ------------------------------------------------------------------
     # memory geometry helpers
     # ------------------------------------------------------------------
@@ -82,6 +123,8 @@ class HardwareProfile:
         which is what makes the paper's "patches" emerge: stressing any
         location of a patch pressures the same channel.
         """
+        if self.channel_shift is not None:
+            return (addr >> self.channel_shift) & self.channel_mask
         return (addr // self.patch_size) % self.n_channels
 
     @property
@@ -108,27 +151,9 @@ class HardwareProfile:
         sequence, and sequences equivalent under rotation may behave
         differently (position-dependent jitter).
         """
-        if not seq or any(kind not in ACCESS_KINDS for kind in seq):
-            raise ValueError(f"invalid access sequence {seq!r}")
-        n_ld = sum(1 for kind in seq if kind == "ld")
-        n_st = len(seq) - n_ld
-        if n_ld == 0:
-            base = 0.012 + 0.002 * n_st
-        elif n_st == 0:
-            base = 0.28 + 0.02 * n_ld
-        else:
-            base = 0.62 + 0.22 * min(n_ld, n_st) / len(seq)
-        bonus = 0.0
-        if seq == self.best_sequence:
-            bonus = self.sequence_affinity
-        elif _is_rotation(seq, self.best_sequence):
-            bonus = 0.35 * self.sequence_affinity
-        elif sorted(seq) == sorted(self.best_sequence):
-            bonus = 0.22 * self.sequence_affinity
-        prefix = _common_prefix(seq, self.best_sequence)
-        bonus += 0.015 * prefix
-        jitter = make_rng(self.seed, "seq", seq).uniform(-0.025, 0.025)
-        return max(base + bonus + jitter, 0.001)
+        return _sequence_strength(
+            self.seed, self.best_sequence, self.sequence_affinity, seq
+        )
 
     def turbulence(self, n_hot_channels: int) -> float:
         """Reordering multiplier given the number of congested channels.
@@ -151,6 +176,47 @@ class HardwareProfile:
     def ticks_to_ms(self, ticks: int) -> float:
         """Convert engine ticks to (modelled) kernel milliseconds."""
         return ticks / (self.clock_ghz * 1.0e4)
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@lru_cache(maxsize=4096)
+def _sequence_strength(
+    seed: int,
+    best: tuple[str, ...],
+    affinity: float,
+    seq: tuple[str, ...],
+) -> float:
+    """Memoized body of :meth:`HardwareProfile.sequence_strength`.
+
+    A pure function of the chip personality and the sequence; the jitter
+    draws from its own derived stream, so memoization cannot perturb any
+    experiment stream.  Stressing strategies call this once per litmus
+    execution, which made it a measurable hot-path constant.
+    """
+    if not seq or any(kind not in ACCESS_KINDS for kind in seq):
+        raise ValueError(f"invalid access sequence {seq!r}")
+    n_ld = sum(1 for kind in seq if kind == "ld")
+    n_st = len(seq) - n_ld
+    if n_ld == 0:
+        base = 0.012 + 0.002 * n_st
+    elif n_st == 0:
+        base = 0.28 + 0.02 * n_ld
+    else:
+        base = 0.62 + 0.22 * min(n_ld, n_st) / len(seq)
+    bonus = 0.0
+    if seq == best:
+        bonus = affinity
+    elif _is_rotation(seq, best):
+        bonus = 0.35 * affinity
+    elif sorted(seq) == sorted(best):
+        bonus = 0.22 * affinity
+    prefix = _common_prefix(seq, best)
+    bonus += 0.015 * prefix
+    jitter = make_rng(seed, "seq", seq).uniform(-0.025, 0.025)
+    return max(base + bonus + jitter, 0.001)
 
 
 def _is_rotation(a: tuple[str, ...], b: tuple[str, ...]) -> bool:

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..chips.profile import HardwareProfile
 from ..errors import KernelTimeoutError
+from ..rng import BufferedRNG
 from .events import (
     FENCE_DEVICE,
     OP_BARRIER,
@@ -106,7 +107,7 @@ class Engine:
         self,
         chip: HardwareProfile,
         memory: MemorySystem,
-        rng: np.random.Generator,
+        rng: "np.random.Generator | BufferedRNG",
         max_ticks: int = DEFAULT_MAX_TICKS,
         n_stress_units: int = 0,
         randomise: bool = False,

@@ -33,17 +33,41 @@ Operational model (see DESIGN.md Sec. 4 for the rationale):
 All probabilistic decisions flow from the chip profile and the stress
 field; on the ``sc-ref`` chip every probability is zero and the subsystem
 is sequentially consistent.
+
+Hot-path notes (see docs/ARCHITECTURE.md "Hot path & determinism"):
+
+* The per-channel probability tables are pure functions of
+  ``(chip, pressure vector, turbulence, weak_scale)`` and are memoized
+  in a module-level LRU — a tuning grid or campaign revisits the same
+  handful of pressure shapes millions of times.  Cached tables are
+  plain Python lists (scalar indexing is ~4x cheaper than numpy
+  element access) and are shared between instances; never mutate them.
+* Buffer membership is mirrored in per-``(sm, thread)``,
+  per-``(sm, thread, channel)`` and per-``(sm, addr)`` counters so the
+  common cases of ``read``/``issue_load``/``thread_pending`` skip the
+  buffer scan entirely, and every former ``buf.remove(entry)``
+  quadratic pattern is a single-pass rewrite.
+* :meth:`MemorySystem.reset` restores the pristine post-construction
+  state so one instance can serve an entire batch of executions.
+
+None of this changes a single random draw: every decision consumes the
+same generator stream, in the same order, as the original scan-based
+implementation (the golden-statistics tests pin this).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Callable
+from functools import lru_cache
 
 import numpy as np
 
 from ..chips.profile import HardwareProfile
+from ..errors import InvalidAccessError
+from ..rng import BufferedRNG
 from .events import STALL
-from .pressure import StressField
+from .pressure import StressField, lru_get
 
 #: Probability ceiling for any single reordering decision.
 _P_MAX = 0.45
@@ -74,6 +98,100 @@ _E_VAL = 2
 _E_CH = 3
 _E_TICK = 4
 _E_PARKED = 5
+
+#: LRU of precomputed probability tables, keyed by
+#: ``(chip cache token, pressure bytes, turbulence, weak_scale)``.
+_TABLE_CACHE: OrderedDict[tuple, tuple] = OrderedDict()
+_TABLE_CACHE_MAX = 512
+
+
+@lru_cache(maxsize=64)
+def _bleed_matrix(n: int) -> np.ndarray:
+    """Ring-topology pressure bleed between channels (shared arbitration:
+    stress on a channel acts mildly on its neighbours, which is what
+    gives the paper's Fig. 3 its patches of *varying* height)."""
+    idx = np.arange(n)
+    dist = np.abs(idx[:, None] - idx[None, :])
+    dist = np.minimum(dist, n - dist)
+    bleed = np.where(dist == 0, 1.0, np.where(dist == 1, 0.35, 0.08))
+    bleed.setflags(write=False)
+    return bleed
+
+
+def memory_tables(
+    profile: HardwareProfile, stress: StressField, weak_scale: float
+) -> tuple[list, list, list, list, list]:
+    """Per-channel probability tables for one (chip, field, scale).
+
+    Returns ``(drain_p, swap_p, bypass_p, slow_p, resolve_p)`` as plain
+    lists (``swap_p`` is a list of rows).  The tables are deterministic
+    functions of the key, so memoization is invisible to the statistics;
+    they are shared between memory systems and must not be mutated.
+    """
+    key = (
+        profile.cache_token,
+        stress.press_bytes,
+        stress.turbulence,
+        weak_scale,
+    )
+    return lru_get(
+        _TABLE_CACHE,
+        key,
+        lambda: _compute_tables(profile, stress, weak_scale),
+        _TABLE_CACHE_MAX,
+    )
+
+
+def _compute_tables(
+    profile: HardwareProfile, stress: StressField, weak_scale: float
+) -> tuple[list, list, list, list, list]:
+    prof, scale = profile, weak_scale
+    n = prof.n_channels
+    turb = stress.turbulence
+    sens = prof.sensitivity
+    press = stress.press
+
+    # Effective pressure per channel: stress on a channel acts with
+    # that channel's sensitivity and bleeds onto neighbouring channels.
+    eff = _bleed_matrix(n) @ (press * sens)
+
+    # Drain probability per tick for a store on channel ch.  The
+    # slowdown, like the reordering probabilities, works through the
+    # chip's channel sensitivity and the turbulence of the field —
+    # diffuse or uniform stress barely delays any one line, which is
+    # why rand-str and cache-str are weak (paper Tab. 5).
+    drain_p = 1.0 / (
+        1.0
+        + _BASE_LATENCY
+        + prof.latency_gain * press * sens * turb * scale
+    )
+    # Cross-channel store-store swap probability matrix
+    # [older channel, younger channel].
+    pair = eff[:, None] + prof.cross_channel_weight * eff[None, :]
+    swap = prof.reorder_base + prof.reorder_gain * pair * turb
+    swap_p = np.minimum(swap * scale + prof.store_swap_leak, _P_MAX)
+    # Store-load bypass probability (SB) keyed by the *store*'s channel.
+    bypass = (
+        prof.reorder_base
+        + _BYPASS_BOOST * prof.reorder_gain * eff * turb
+    )
+    bypass_p = np.minimum(bypass * scale, _P_MAX)
+    # Slow-load probability (LB) keyed by the load's channel.
+    slow = prof.load_delay_base + prof.load_delay_gain * eff * turb
+    slow_p = np.minimum(slow * scale, _P_MAX)
+    # Slow loads resolve more slowly on pressured channels.
+    resolve_p = _SLOW_RESOLVE_P / (
+        1.0 + prof.latency_gain * press * sens * turb * scale
+    )
+    assert drain_p.shape == (n,)
+
+    return (
+        drain_p.tolist(),
+        swap_p.tolist(),
+        bypass_p.tolist(),
+        slow_p.tolist(),
+        resolve_p.tolist(),
+    )
 
 
 class DeferredLoad:
@@ -136,6 +254,9 @@ class MemorySystem:
         self.profile = profile
         self.stress = stress if stress is not None else StressField.zero(profile)
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Hot paths draw scalars straight from a BufferedRNG's pre-draw
+        # block (see repro.rng) instead of through a method call.
+        self._fast_rng = self.rng if isinstance(self.rng, BufferedRNG) else None
         self.weak_scale = weak_scale
 
         self.mem: dict[int, object] = {}
@@ -143,6 +264,22 @@ class MemorySystem:
         self.tick = 0
         self._fencing: set[int] = set()
         self._deferred: list[DeferredLoad] = []
+
+        # Buffer-membership mirrors (see module docstring): total count,
+        # the set of SMs with non-empty buffers, and per-(sm, thread) /
+        # (sm, thread, channel) / (sm, addr) entry counts.  These turn
+        # the common read/issue/pending checks into dict probes and let
+        # the drain pump skip empty SMs without scanning all of them.
+        self._n_buffered = 0
+        self._nonempty: set[int] = set()
+        self._by_thread: dict[tuple[int, int], int] = {}
+        self._by_thread_ch: dict[tuple[int, int, int], int] = {}
+        self._by_addr: dict[tuple[int, int], int] = {}
+
+        # Hot-path constants hoisted off the profile.
+        self._buf_cap = profile.store_buffer_capacity * 8
+        self._ch_shift = profile.channel_shift
+        self._ch_mask = profile.channel_mask
 
         # Statistics (consumed by tests and the cost model).
         self.n_drains = 0
@@ -156,56 +293,92 @@ class MemorySystem:
     # precomputed per-channel probabilities (the stress field is static)
     # ------------------------------------------------------------------
     def _precompute(self) -> None:
-        prof, stress, scale = self.profile, self.stress, self.weak_scale
-        n = prof.n_channels
-        turb = stress.turbulence
-        sens = prof.sensitivity
-        press = stress.press
-
-        # Effective pressure per channel: stress on a channel acts with
-        # that channel's sensitivity and bleeds mildly onto neighbouring
-        # channels (shared arbitration), which is what gives the paper's
-        # Fig. 3 its patches of *varying* height.
-        idx = np.arange(n)
-        dist = np.abs(idx[:, None] - idx[None, :])
-        dist = np.minimum(dist, n - dist)  # ring topology
-        bleed = np.where(dist == 0, 1.0, np.where(dist == 1, 0.35, 0.08))
-        eff = bleed @ (press * sens)
-
-        # Drain probability per tick for a store on channel ch.  The
-        # slowdown, like the reordering probabilities, works through the
-        # chip's channel sensitivity and the turbulence of the field —
-        # diffuse or uniform stress barely delays any one line, which is
-        # why rand-str and cache-str are weak (paper Tab. 5).
-        self.drain_p = 1.0 / (
-            1.0
-            + _BASE_LATENCY
-            + prof.latency_gain * press * sens * turb * scale
-        )
-        # Cross-channel store-store swap probability matrix
-        # [older channel, younger channel].
-        pair = eff[:, None] + prof.cross_channel_weight * eff[None, :]
-        swap = prof.reorder_base + prof.reorder_gain * pair * turb
-        self.swap_p = np.minimum(swap * scale + prof.store_swap_leak, _P_MAX)
-        # Store-load bypass probability (SB) keyed by the *store*'s channel.
-        bypass = (
-            prof.reorder_base
-            + _BYPASS_BOOST * prof.reorder_gain * eff * turb
-        )
-        self.bypass_p = np.minimum(bypass * scale, _P_MAX)
-        # Slow-load probability (LB) keyed by the load's channel.
-        slow = prof.load_delay_base + prof.load_delay_gain * eff * turb
-        self.slow_p = np.minimum(slow * scale, _P_MAX)
-        # Slow loads resolve more slowly on pressured channels.
-        self.resolve_p = _SLOW_RESOLVE_P / (
-            1.0 + prof.latency_gain * press * sens * turb * scale
-        )
-        assert self.drain_p.shape == (n,)
+        (
+            self.drain_p,
+            self.swap_p,
+            self.bypass_p,
+            self.slow_p,
+            self.resolve_p,
+        ) = memory_tables(self.profile, self.stress, self.weak_scale)
 
     def set_stress(self, stress: StressField) -> None:
         """Swap the stress field (e.g. once a scratchpad is allocated)."""
         self.stress = stress
         self._precompute()
+
+    def reset(
+        self,
+        stress: StressField | None = None,
+        rng: np.random.Generator | None = None,
+        weak_scale: float | None = None,
+    ) -> None:
+        """Return to the pristine post-construction state.
+
+        Optionally swaps the stress field, generator and weak scale so
+        one instance can serve a whole batch of executions — the
+        execution loop's allocation cost collapses to a few ``clear()``
+        calls plus (usually cached) table lookups.
+        """
+        self.mem.clear()
+        if self._n_buffered:
+            for sm in self._nonempty:
+                self.sm_buffers[sm].clear()
+            self._nonempty.clear()
+            self._by_thread.clear()
+            self._by_thread_ch.clear()
+            self._by_addr.clear()
+            self._n_buffered = 0
+        self.tick = 0
+        if self._fencing:
+            self._fencing.clear()
+        if self._deferred:
+            self._deferred = []
+        self.n_drains = 0
+        self.n_swaps = 0
+        self.n_bypasses = 0
+        self.n_slow_loads = 0
+        if rng is not None:
+            self.rng = rng
+            self._fast_rng = rng if isinstance(rng, BufferedRNG) else None
+        stale = False
+        if weak_scale is not None and weak_scale != self.weak_scale:
+            self.weak_scale = weak_scale
+            stale = True
+        if stress is not None and stress is not self.stress:
+            self.stress = stress
+            stale = True
+        if stale:
+            self._precompute()
+
+    # ------------------------------------------------------------------
+    # buffer-membership bookkeeping
+    # ------------------------------------------------------------------
+    def _note_removed(self, sm: int, entry: list) -> None:
+        self._n_buffered -= 1
+        key = (sm, entry[_E_THREAD])
+        n = self._by_thread[key] - 1
+        if n:
+            self._by_thread[key] = n
+        else:
+            del self._by_thread[key]
+        key = (sm, entry[_E_THREAD], entry[_E_CH])
+        n = self._by_thread_ch[key] - 1
+        if n:
+            self._by_thread_ch[key] = n
+        else:
+            del self._by_thread_ch[key]
+        key = (sm, entry[_E_ADDR])
+        n = self._by_addr[key] - 1
+        if n:
+            self._by_addr[key] = n
+        else:
+            del self._by_addr[key]
+
+    def _channel(self, addr: int) -> int:
+        shift = self._ch_shift
+        if shift is not None:
+            return (addr >> shift) & self._ch_mask
+        return self.profile.channel(addr)
 
     # ------------------------------------------------------------------
     # thread-facing operations
@@ -220,43 +393,72 @@ class MemorySystem:
         load does not re-roll the dice every tick.
         """
         buf = self.sm_buffers[sm]
-        load_ch = self.profile.channel(addr)
-        own_pending = None
-        own_same_channel = False
-        for entry in reversed(buf):
-            if entry[_E_ADDR] == addr:
-                return entry[_E_VAL]  # SM-local forwarding
-            if entry[_E_THREAD] == thread:
-                if own_pending is None:
-                    own_pending = entry
-                if entry[_E_CH] == load_ch:
-                    own_same_channel = True
-        if own_same_channel:
-            # Same-channel FIFO: the load waits for the store to drain.
-            # This is why SB-shaped weak behaviour needs the two
-            # communication locations in different patches.
-            return STALL
-        if own_pending is not None:
-            if op_state is not None and op_state.get("waiting"):
-                return STALL
-            p = self.bypass_p[own_pending[_E_CH]]
-            if self.rng.random() >= p:
-                if op_state is not None:
-                    op_state["waiting"] = True
-                return STALL
-            self.n_bypasses += 1
+        if buf:
+            if self._by_addr.get((sm, addr)):
+                for entry in reversed(buf):
+                    if entry[_E_ADDR] == addr:
+                        return entry[_E_VAL]  # SM-local forwarding
+            if self._by_thread.get((sm, thread)):
+                shift = self._ch_shift
+                if shift is not None:
+                    load_ch = (addr >> shift) & self._ch_mask
+                else:
+                    load_ch = self.profile.channel(addr)
+                if self._by_thread_ch.get((sm, thread, load_ch)):
+                    # Same-channel FIFO: the load waits for the store to
+                    # drain.  This is why SB-shaped weak behaviour needs
+                    # the two communication locations in different
+                    # patches.
+                    return STALL
+                if op_state is not None and op_state.get("waiting"):
+                    return STALL
+                for entry in reversed(buf):
+                    if entry[_E_THREAD] == thread:
+                        own_pending = entry
+                        break
+                p = self.bypass_p[own_pending[_E_CH]]
+                fr = self._fast_rng
+                if fr is not None and fr._i < fr._n:
+                    i = fr._i
+                    fr._i = i + 1
+                    roll = fr._dbuf[i]
+                else:
+                    roll = self.rng.random()
+                if roll >= p:
+                    if op_state is not None:
+                        op_state["waiting"] = True
+                    return STALL
+                self.n_bypasses += 1
         return self.mem.get(addr, 0)
 
     def write(self, sm: int, thread: int, addr: int, val: object) -> bool:
         """Buffered store.  Returns False when the buffer is full."""
         buf = self.sm_buffers[sm]
-        if len(buf) >= self.profile.store_buffer_capacity * 8:
+        if len(buf) >= self._buf_cap:
             return False
-        ch = self.profile.channel(addr)
+        shift = self._ch_shift
+        if shift is not None:
+            ch = (addr >> shift) & self._ch_mask
+        else:
+            ch = self.profile.channel(addr)
         # Program order, same address: an earlier deferred load by this
         # thread must see the pre-store value.
-        self._resolve_matching(thread, addr)
-        buf.append([thread, addr, val, ch, self.tick, False])
+        if self._deferred:
+            self._resolve_matching(thread, addr)
+        entry = [thread, addr, val, ch, self.tick, False]
+        buf.append(entry)
+        # _note_append, inlined (hottest bookkeeping site).
+        self._n_buffered += 1
+        self._nonempty.add(sm)
+        key = (sm, thread)
+        by_thread = self._by_thread
+        by_thread[key] = by_thread.get(key, 0) + 1
+        key = (sm, thread, ch)
+        by_ch = self._by_thread_ch
+        by_ch[key] = by_ch.get(key, 0) + 1
+        key = (sm, addr)
+        by_addr = self._by_addr
+        by_addr[key] = by_addr.get(key, 0) + 1
         return True
 
     def rmw(
@@ -280,10 +482,11 @@ class MemorySystem:
         """
         buf = self.sm_buffers[sm]
         own_pending = None
-        for entry in reversed(buf):
-            if entry[_E_THREAD] == thread and entry[_E_ADDR] != addr:
-                own_pending = entry
-                break
+        if self._by_thread.get((sm, thread)):
+            for entry in reversed(buf):
+                if entry[_E_THREAD] == thread and entry[_E_ADDR] != addr:
+                    own_pending = entry
+                    break
         if own_pending is not None:
             if op_state is not None and op_state.get("waiting"):
                 return STALL
@@ -299,10 +502,20 @@ class MemorySystem:
                     entry[_E_PARKED] = True
         # Coherence: same-address buffered stores on this SM are ordered
         # before the atomic; commit them now (in order).
-        same = [e for e in buf if e[_E_ADDR] == addr]
-        for entry in same:
-            buf.remove(entry)
-            self._commit(entry)
+        if self._by_addr.get((sm, addr)):
+            same = []
+            keep = []
+            for entry in buf:
+                if entry[_E_ADDR] == addr:
+                    same.append(entry)
+                else:
+                    keep.append(entry)
+            buf[:] = keep
+            for entry in same:
+                self._note_removed(sm, entry)
+                self._commit(entry)
+            if not buf:
+                self._nonempty.discard(sm)
         old = self.mem.get(addr, 0)
         self.mem[addr] = fn(old)
         return old
@@ -316,49 +529,64 @@ class MemorySystem:
         blocking the caller: constrained loads park on the deferred list
         and resolve when their blocking stores drain.
         """
-        ch = self.profile.channel(addr)
+        shift = self._ch_shift
+        if shift is not None:
+            ch = (addr >> shift) & self._ch_mask
+        else:
+            ch = self.profile.channel(addr)
         buf = self.sm_buffers[sm]
-        # Loads within a channel stay ordered, as do loads closer than
-        # the chip's reorder distance threshold (on Maxwell this is what
-        # pushes observable MP read reordering out to d >= 256): chain
-        # behind an earlier unresolved load by this thread.
-        min_dist = self.profile.store_store_min_distance
-        for earlier in self._deferred:
-            if (
-                not earlier.resolved
-                and earlier.thread == thread
-                and (
-                    earlier.ch == ch
-                    or abs(earlier.addr - addr) < min_dist
-                )
-            ):
-                handle = DeferredLoad(
-                    thread, sm, addr, ch, slow=False,
-                    block_mode=("load", earlier),
-                )
-                self._deferred.append(handle)
-                return handle
+        if self._deferred:
+            # Loads within a channel stay ordered, as do loads closer
+            # than the chip's reorder distance threshold (on Maxwell
+            # this is what pushes observable MP read reordering out to
+            # d >= 256): chain behind an earlier unresolved load by this
+            # thread.
+            min_dist = self.profile.store_store_min_distance
+            for earlier in self._deferred:
+                if (
+                    not earlier.resolved
+                    and earlier.thread == thread
+                    and (
+                        earlier.ch == ch
+                        or abs(earlier.addr - addr) < min_dist
+                    )
+                ):
+                    handle = DeferredLoad(
+                        thread, sm, addr, ch, slow=False,
+                        block_mode=("load", earlier),
+                    )
+                    self._deferred.append(handle)
+                    return handle
         own_pending = None
-        own_same_channel = False
-        for entry in reversed(buf):
-            if entry[_E_ADDR] == addr:
-                handle = DeferredLoad(thread, sm, addr, ch, slow=False)
-                handle.value = entry[_E_VAL]
-                handle.resolved = True
-                return handle
-            if entry[_E_THREAD] == thread:
-                if own_pending is None:
-                    own_pending = entry
-                if entry[_E_CH] == ch:
-                    own_same_channel = True
-        if own_same_channel:
-            handle = DeferredLoad(
-                thread, sm, addr, ch, slow=False, block_mode=("channel", ch)
-            )
-            self._deferred.append(handle)
-            return handle
+        if buf:
+            if self._by_addr.get((sm, addr)):
+                for entry in reversed(buf):
+                    if entry[_E_ADDR] == addr:
+                        handle = DeferredLoad(thread, sm, addr, ch, slow=False)
+                        handle.value = entry[_E_VAL]
+                        handle.resolved = True
+                        return handle
+            if self._by_thread.get((sm, thread)):
+                if self._by_thread_ch.get((sm, thread, ch)):
+                    handle = DeferredLoad(
+                        thread, sm, addr, ch, slow=False,
+                        block_mode=("channel", ch),
+                    )
+                    self._deferred.append(handle)
+                    return handle
+                for entry in reversed(buf):
+                    if entry[_E_THREAD] == thread:
+                        own_pending = entry
+                        break
+        fr = self._fast_rng
         if own_pending is not None:
-            if self.rng.random() >= self.bypass_p[own_pending[_E_CH]]:
+            if fr is not None and fr._i < fr._n:
+                i = fr._i
+                fr._i = i + 1
+                roll = fr._dbuf[i]
+            else:
+                roll = self.rng.random()
+            if roll >= self.bypass_p[own_pending[_E_CH]]:
                 handle = DeferredLoad(
                     thread, sm, addr, ch, slow=False,
                     block_mode=("stores", None),
@@ -366,13 +594,20 @@ class MemorySystem:
                 self._deferred.append(handle)
                 return handle
             self.n_bypasses += 1
-        slow = self.rng.random() < self.slow_p[ch]
+        if fr is not None and fr._i < fr._n:
+            i = fr._i
+            fr._i = i + 1
+            roll = fr._dbuf[i]
+        else:
+            roll = self.rng.random()
+        slow = roll < self.slow_p[ch]
         handle = DeferredLoad(thread, sm, addr, ch, slow)
         if slow:
             self.n_slow_loads += 1
             self._deferred.append(handle)
         else:
-            self._resolve_pending(handle)
+            handle.value = self.mem.get(addr, 0)
+            handle.resolved = True
         return handle
 
     def poll_load(self, handle: DeferredLoad) -> object:
@@ -386,9 +621,8 @@ class MemorySystem:
     # ------------------------------------------------------------------
     def thread_pending(self, sm: int, thread: int) -> bool:
         """True when the thread has buffered stores or in-flight loads."""
-        for entry in self.sm_buffers[sm]:
-            if entry[_E_THREAD] == thread:
-                return True
+        if self._by_thread.get((sm, thread)):
+            return True
         return any(
             h.thread == thread and not h.resolved for h in self._deferred
         )
@@ -408,9 +642,8 @@ class MemorySystem:
 
     def fence_done(self, sm: int, thread: int) -> bool:
         """True when the fencing thread has no pending stores or loads."""
-        for entry in self.sm_buffers[sm]:
-            if entry[_E_THREAD] == thread:
-                return False
+        if self._by_thread.get((sm, thread)):
+            return False
         for handle in self._deferred:
             if handle.thread == thread and not handle.resolved:
                 return False
@@ -419,14 +652,22 @@ class MemorySystem:
 
     def drain_thread(self, sm: int, thread: int) -> None:
         """Synchronously drain one thread's stores in order (barriers)."""
+        if not self._by_thread.get((sm, thread)):
+            return
         buf = self.sm_buffers[sm]
+        drained = []
         keep = []
         for entry in buf:
             if entry[_E_THREAD] == thread:
-                self._commit(entry)
+                drained.append(entry)
             else:
                 keep.append(entry)
         buf[:] = keep
+        for entry in drained:
+            self._note_removed(sm, entry)
+            self._commit(entry)
+        if not buf:
+            self._nonempty.discard(sm)
 
     # ------------------------------------------------------------------
     # the drain pump, called once per engine tick
@@ -436,12 +677,58 @@ class MemorySystem:
         self.tick += 1
         if self._deferred:
             self._step_deferred()
-        for sm, buf in enumerate(self.sm_buffers):
-            if buf:
-                self._step_buffer(sm, buf)
+        if self._n_buffered:
+            self._step_buffers()
+
+    def _step_buffers(self) -> None:
+        nonempty = self._nonempty
+        if len(nonempty) == 1:
+            for sm in nonempty:
+                break
+            self._step_buffer(sm, self.sm_buffers[sm])
+        else:
+            for sm in sorted(nonempty):
+                buf = self.sm_buffers[sm]
+                if buf:
+                    self._step_buffer(sm, buf)
+
+    def drain_until(self, handles, max_ticks: int) -> None:
+        """Step until no stores are buffered and all ``handles`` are
+        resolved, or ``max_ticks`` elapse.
+
+        Exactly equivalent to the check-then-:meth:`step` loop it
+        replaces (same draws, same tick evolution); fusing it here keeps
+        the whole drain phase in one frame.
+        """
+        sm_buffers = self.sm_buffers
+        for _ in range(max_ticks):
+            if not self._n_buffered:
+                for h in handles:
+                    if not h.resolved:
+                        break
+                else:
+                    return
+            self.tick += 1
+            if self._deferred:
+                self._step_deferred()
+            if self._n_buffered:
+                # Single-SM fast path of _step_buffers(), inlined to
+                # skip a frame per tick.  Keep the three copies in sync:
+                # here, _step_buffers(), and the inlined step in
+                # litmus/runner._one_round.
+                nonempty = self._nonempty
+                if len(nonempty) == 1:
+                    for sm in nonempty:
+                        break
+                    self._step_buffer(sm, sm_buffers[sm])
+                else:
+                    self._step_buffers()
 
     def _step_deferred(self) -> None:
         still = []
+        resolve_p = self.resolve_p
+        rng = self.rng
+        fr = self._fast_rng
         for handle in self._deferred:
             if handle.resolved:
                 continue
@@ -450,84 +737,149 @@ class MemorySystem:
                     self._resolve_pending(handle)
                 else:
                     still.append(handle)
-            elif self.rng.random() < self.resolve_p[handle.ch]:
-                self._resolve_pending(handle)
             else:
-                still.append(handle)
+                if fr is not None and fr._i < fr._n:
+                    i = fr._i
+                    fr._i = i + 1
+                    roll = fr._dbuf[i]
+                else:
+                    roll = rng.random()
+                if roll < resolve_p[handle.ch]:
+                    handle.value = self.mem.get(handle.addr, 0)
+                    handle.resolved = True
+                else:
+                    still.append(handle)
         self._deferred = still
 
     def _unblocked(self, handle: DeferredLoad) -> bool:
         mode, arg = handle.block_mode
         if mode == "load":
             return arg.resolved
-        for entry in self.sm_buffers[handle.sm]:
-            if entry[_E_THREAD] != handle.thread:
-                continue
-            if mode == "stores" or entry[_E_CH] == arg:
-                return False
-        return True
+        if mode == "stores":
+            return not self._by_thread.get((handle.sm, handle.thread))
+        return not self._by_thread_ch.get((handle.sm, handle.thread, arg))
 
     def _step_buffer(self, sm: int, buf: list[list]) -> None:
         rng = self.rng
         fencing = self._fencing
         if fencing:
-            # Priority FIFO drain for fencing threads.
-            for entry in [e for e in buf if e[_E_THREAD] in fencing]:
-                buf.remove(entry)
-                self._commit(entry)
+            # Priority FIFO drain for fencing threads (single pass).
+            drained = [e for e in buf if e[_E_THREAD] in fencing]
+            if drained:
+                buf[:] = [e for e in buf if e[_E_THREAD] not in fencing]
+                for entry in drained:
+                    self._note_removed(sm, entry)
+                    self._commit(entry)
             if not buf:
+                self._nonempty.discard(sm)
                 return
         horizon = self.tick - _MIN_AGE
         committed = 0
+        drain_p = self.drain_p
+        fr = self._fast_rng
         while buf and committed < _DRAIN_WIDTH:
             head = buf[0]
             if head[_E_TICK] > horizon:
                 break  # head too young; younger entries behind it too
             idx = 0
-            if len(buf) > 1:
+            if len(buf) > 1 and buf[1][_E_TICK] <= horizon:
+                # (the swap scan breaks immediately on a too-young first
+                # candidate without drawing, so the gate is draw-free)
                 idx = self._maybe_swap(buf, horizon, rng)
             if idx != 0:
                 # A successful swap *is* the early out-of-order commit;
                 # the overtaken head is parked in the congested queue.
                 entry = buf.pop(idx)
                 buf[0][_E_PARKED] = True
+                self._note_removed(sm, entry)
                 self._commit(entry)
                 committed += 1
                 continue
-            entry = buf[0]
-            p = self.drain_p[entry[_E_CH]]
-            if entry[_E_PARKED]:
+            p = drain_p[head[_E_CH]]
+            if head[_E_PARKED]:
                 p *= _PARKED_DRAIN
-            if rng.random() < p:
+            if fr is not None and fr._i < fr._n:
+                i = fr._i
+                fr._i = i + 1
+                roll = fr._dbuf[i]
+            else:
+                roll = rng.random()
+            if roll < p:
                 del buf[0]
-                self._commit(entry)
+                # _note_removed + _commit, inlined (hottest path).
+                self._n_buffered -= 1
+                thread = head[_E_THREAD]
+                addr = head[_E_ADDR]
+                ch = head[_E_CH]
+                counts = self._by_thread
+                key = (sm, thread)
+                n = counts[key] - 1
+                if n:
+                    counts[key] = n
+                else:
+                    del counts[key]
+                counts = self._by_thread_ch
+                key = (sm, thread, ch)
+                n = counts[key] - 1
+                if n:
+                    counts[key] = n
+                else:
+                    del counts[key]
+                counts = self._by_addr
+                key = (sm, addr)
+                n = counts[key] - 1
+                if n:
+                    counts[key] = n
+                else:
+                    del counts[key]
+                if self._deferred:
+                    self._resolve_matching(thread, addr, ch)
+                self.mem[addr] = head[_E_VAL]
+                self.n_drains += 1
                 committed += 1
             else:
                 break
+        if not buf:
+            self._nonempty.discard(sm)
 
     def _maybe_swap(
-        self, buf: list[list], horizon: int, rng: np.random.Generator
+        self, buf: list[list], horizon: int, rng
     ) -> int:
         """Index of the entry to drain: 0, or a younger entry that is
         allowed to overtake the head."""
         head = buf[0]
-        min_dist = self.profile.store_store_min_distance
+        profile = self.profile
+        min_dist = profile.store_store_min_distance
+        fr = self._fast_rng
         for j in range(1, len(buf)):
             cand = buf[j]
             if cand[_E_TICK] > horizon:
                 break
             if cand[_E_CH] == head[_E_CH]:
-                if self.profile.store_swap_leak <= 0.0:
+                leak = profile.store_swap_leak
+                if leak <= 0.0:
                     continue
                 # Maxwell write-combining leak: rare same-channel swap.
-                if rng.random() < self.profile.store_swap_leak:
+                if fr is not None and fr._i < fr._n:
+                    i = fr._i
+                    fr._i = i + 1
+                    roll = fr._dbuf[i]
+                else:
+                    roll = rng.random()
+                if roll < leak:
                     if self._oldest_for_addr(buf, j):
                         self.n_swaps += 1
                         return j
                 continue
             if abs(cand[_E_ADDR] - head[_E_ADDR]) < min_dist:
                 continue
-            if rng.random() < self.swap_p[head[_E_CH], cand[_E_CH]]:
+            if fr is not None and fr._i < fr._n:
+                i = fr._i
+                fr._i = i + 1
+                roll = fr._dbuf[i]
+            else:
+                roll = rng.random()
+            if roll < self.swap_p[head[_E_CH]][cand[_E_CH]]:
                 if self._oldest_for_addr(buf, j):
                     self.n_swaps += 1
                     return j
@@ -548,7 +900,10 @@ class MemorySystem:
         # Program order within a channel: this thread's earlier deferred
         # loads of this address *or channel* must resolve before the
         # store lands (LB-shaped reordering needs distinct channels).
-        self._resolve_matching(entry[_E_THREAD], entry[_E_ADDR], entry[_E_CH])
+        if self._deferred:
+            self._resolve_matching(
+                entry[_E_THREAD], entry[_E_ADDR], entry[_E_CH]
+            )
         self.mem[entry[_E_ADDR]] = entry[_E_VAL]
         self.n_drains += 1
 
@@ -582,24 +937,38 @@ class MemorySystem:
         self.mem[buf.addr(idx)] = val
 
     def host_fill(self, buf, values) -> None:
-        """Bulk host initialisation of a buffer."""
-        for i, val in enumerate(values):
-            self.mem[buf.addr(i)] = val
+        """Bulk host initialisation of a buffer (single dict update)."""
+        values = list(values)
+        if len(values) > buf.size:
+            raise InvalidAccessError(
+                f"host_fill of {len(values)} words overflows buffer "
+                f"{buf.name!r} of size {buf.size}"
+            )
+        base = buf.base
+        self.mem.update(zip(range(base, base + len(values)), values))
 
     # ------------------------------------------------------------------
     # introspection helpers (tests, debugging)
     # ------------------------------------------------------------------
     def pending_stores(self) -> int:
         """Total stores currently buffered across all SMs."""
-        return sum(len(buf) for buf in self.sm_buffers)
+        return self._n_buffered
 
     def flush_all(self) -> None:
         """Commit every buffered store in FIFO order (end of kernel)."""
-        for buf in self.sm_buffers:
-            for entry in buf:
-                self._commit(entry)
-            buf.clear()
-        for handle in self._deferred:
-            if not handle.resolved:
-                self._resolve_pending(handle)
-        self._deferred = []
+        if self._n_buffered:
+            for sm in sorted(self._nonempty):
+                buf = self.sm_buffers[sm]
+                for entry in buf:
+                    self._commit(entry)
+                buf.clear()
+            self._nonempty.clear()
+            self._by_thread.clear()
+            self._by_thread_ch.clear()
+            self._by_addr.clear()
+            self._n_buffered = 0
+        if self._deferred:
+            for handle in self._deferred:
+                if not handle.resolved:
+                    self._resolve_pending(handle)
+            self._deferred = []

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..rng import BufferedRNG
 from .warp import Warp
 
 #: Ticks between weight re-draws under randomisation.
@@ -30,9 +31,12 @@ class WarpScheduler:
         self,
         warps: list[Warp],
         n_stress_units: int,
-        rng: np.random.Generator,
+        rng: np.random.Generator | BufferedRNG,
         randomise: bool = False,
     ):
+        # The scheduler draws ``integers``/``choice`` every tick, so a
+        # BufferedRNG threaded through here degrades itself to direct
+        # delegation after a few syncs — same stream, no block waste.
         self.warps = warps
         self.n_stress_units = max(0, n_stress_units)
         self.rng = rng

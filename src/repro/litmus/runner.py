@@ -18,8 +18,7 @@ communicating threads in distinct blocks).
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-import numpy as np
+from functools import lru_cache
 
 from ..chips.profile import HardwareProfile
 from ..gpu.addresses import AddressSpace
@@ -33,7 +32,7 @@ from ..parallel import (
     resolve_config,
     shard_ranges,
 )
-from ..rng import make_rng
+from ..rng import BufferedRNG, derive_seed, make_rng
 from .results import LitmusResult
 from .tests import LitmusTest
 
@@ -102,55 +101,128 @@ class LitmusInstance:
         return self.x_addr if loc == "x" else self.y_addr
 
 
+@lru_cache(maxsize=4096)
+def _resolved_programs(instance: LitmusInstance) -> tuple[tuple, tuple]:
+    """The two thread programs with ``x``/``y`` resolved to addresses.
+
+    The instance is immutable, so the per-operation ``instance.addr``
+    lookups of the original inner loop are paid once per instance
+    instead of once per issued operation.
+    """
+
+    def resolve(program):
+        return tuple(
+            ("st", instance.addr(ins[1]), ins[2])
+            if ins[0] == "st"
+            else ("ld", instance.addr(ins[1]), ins[2])
+            for ins in program
+        )
+
+    return resolve(instance.test.thread0), resolve(instance.test.thread1)
+
+
 def _one_round(
     instance: LitmusInstance,
     mem: MemorySystem,
-    sms: list[int],
+    sms,
     exec_p: tuple[float, float],
-    rng: np.random.Generator,
+    rng,
+    programs: tuple[tuple, tuple] | None = None,
 ) -> bool:
-    """Run one litmus round; returns True on the weak outcome."""
+    """Run one litmus round; returns True on the weak outcome.
+
+    The loop body is the hottest code in the repository: threads are
+    unrolled, the memory-system step is inlined, and the exec-gate
+    rolls are taken straight from the BufferedRNG pre-draw block
+    (``rng`` must be a :class:`~repro.rng.BufferedRNG`).  It consumes
+    the random stream in exactly the original order: thread-0 gate (and
+    operation), thread-1 gate (and operation), then the memory-system
+    step — see the golden-statistics tests.
+    """
     mem.mem[instance.x_addr] = 0
     mem.mem[instance.y_addr] = 0
-    programs = (instance.test.thread0, instance.test.thread1)
+    if programs is None:
+        programs = _resolved_programs(instance)
+    prog0, prog1 = programs
+    n0 = len(prog0)
+    n1 = len(prog1)
+    sm0, sm1 = sms
+    p0, p1 = exec_p
 
     # Random start stagger: on hardware the two threads rarely hit their
     # critical instructions at the same instant; the stagger is what
     # lets one thread's reads land inside the other's reorder window.
-    delays = rng.integers(0, _MAX_START_DELAY, size=2)
-    pcs = [0, 0]
-    handles: dict[str, object] = {}
-    for tick in range(_ISSUE_TICKS):
-        if pcs[0] >= len(programs[0]) and pcs[1] >= len(programs[1]):
+    # (Two bounded draws straight off the pre-draw block consume the
+    # bit stream identically to the original ``integers(0, d, size=2)``
+    # — numpy's bounded generation is per-element either way.)
+    delay0 = rng._lemire32(_MAX_START_DELAY)
+    delay1 = rng._lemire32(_MAX_START_DELAY)
+    pc0 = 0
+    pc1 = 0
+    names: list[str] = []
+    handles: list = []
+    write = mem.write
+    issue = mem.issue_load
+    # Until the earlier thread's delay expires nothing can issue, no
+    # probability is rolled, and the (empty) memory system's step only
+    # advances its clock — so jump straight there.
+    start_tick = delay0 if delay0 < delay1 else delay1
+    if start_tick:
+        mem.tick += start_tick
+    for tick in range(start_tick, _ISSUE_TICKS):
+        if pc0 >= n0 and pc1 >= n1:
             break
-        for t in (0, 1):
-            program = programs[t]
-            if pcs[t] >= len(program):
-                continue
-            if tick < delays[t]:
-                continue
-            if rng.random() >= exec_p[t]:
-                continue
-            ins = program[pcs[t]]
-            if ins[0] == "st":
-                if mem.write(sms[t], t, instance.addr(ins[1]), ins[2]):
-                    pcs[t] += 1
-            else:  # ld
-                handles[ins[2]] = mem.issue_load(
-                    sms[t], t, instance.addr(ins[1])
-                )
-                pcs[t] += 1
-        mem.step()
+        if pc0 < n0 and tick >= delay0:
+            i = rng._i
+            if i < rng._n:
+                rng._i = i + 1
+                roll = rng._dbuf[i]
+            else:
+                roll = rng.random()
+            if roll < p0:
+                ins = prog0[pc0]
+                if ins[0] == "st":
+                    if write(sm0, 0, ins[1], ins[2]):
+                        pc0 += 1
+                else:  # ld
+                    names.append(ins[2])
+                    handles.append(issue(sm0, 0, ins[1]))
+                    pc0 += 1
+        if pc1 < n1 and tick >= delay1:
+            i = rng._i
+            if i < rng._n:
+                rng._i = i + 1
+                roll = rng._dbuf[i]
+            else:
+                roll = rng.random()
+            if roll < p1:
+                ins = prog1[pc1]
+                if ins[0] == "st":
+                    if write(sm1, 1, ins[1], ins[2]):
+                        pc1 += 1
+                else:  # ld
+                    names.append(ins[2])
+                    handles.append(issue(sm1, 1, ins[1]))
+                    pc1 += 1
+        # mem.step(), inlined, with the single-SM fast path of
+        # MemorySystem._step_buffers (keep the three copies in sync:
+        # here, _step_buffers, and MemorySystem.drain_until).
+        mem.tick += 1
+        if mem._deferred:
+            mem._step_deferred()
+        if mem._n_buffered:
+            nonempty = mem._nonempty
+            if len(nonempty) == 1:
+                for sm in nonempty:
+                    break
+                mem._step_buffer(sm, mem.sm_buffers[sm])
+            else:
+                mem._step_buffers()
 
-    for _ in range(_DRAIN_TICKS):
-        if mem.pending_stores() == 0 and all(
-            h.resolved for h in handles.values()
-        ):
-            break
-        mem.step()
+    mem.drain_until(handles, _DRAIN_TICKS)
     mem.flush_all()
 
-    regs = {name: handle.value for name, handle in handles.items()}
+    regs = {name: handle.value for name, handle in zip(names, handles)}
     return bool(instance.test.weak(regs))
 
 
@@ -158,22 +230,32 @@ def _one_execution(
     profile: HardwareProfile,
     instance: LitmusInstance,
     field: StressField,
-    rng: np.random.Generator,
+    rng,
     randomise: bool,
     rounds: int = _ROUNDS,
+    mem: MemorySystem | None = None,
+    programs: tuple[tuple, tuple] | None = None,
 ) -> bool:
-    """Run one execution (a batch of rounds, like one kernel launch)."""
-    mem = MemorySystem(profile, field, rng)
-    sms = [0, 1]
+    """Run one execution (a batch of rounds, like one kernel launch).
+
+    Pass ``mem`` (already reset for this execution's field and rng) to
+    reuse one :class:`MemorySystem` across a whole execution batch.
+    """
+    if mem is None:
+        mem = MemorySystem(profile, field, rng)
+    sms = (0, 1)
     if randomise and rng.random() < 0.5:
-        sms = [1, 0]
+        sms = (1, 0)
     if randomise:
         exec_p = (rng.uniform(0.35, 0.95), rng.uniform(0.35, 0.95))
     else:
         exec_p = (_EXEC_P, _EXEC_P)
-    return any(
-        _one_round(instance, mem, sms, exec_p, rng) for _ in range(rounds)
-    )
+    if programs is None:
+        programs = _resolved_programs(instance)
+    for _ in range(rounds):
+        if _one_round(instance, mem, sms, exec_p, rng, programs):
+            return True
+    return False
 
 
 def _litmus_span(
@@ -191,16 +273,34 @@ def _litmus_span(
     experiment seed and the execution's *global* index — never from
     shard-local state — so any partition of the execution range yields
     the same statistics (the repro.parallel determinism contract).
+
+    The generator is wrapped in :class:`~repro.rng.BufferedRNG` (block
+    pre-draws of the identical stream) and one :class:`MemorySystem` is
+    reset per execution instead of reallocated — both invisible to the
+    statistics.
     """
     weak = 0
+    mem: MemorySystem | None = None
+    scratch_base = instance.scratch_base
+    scratch_size = instance.scratch_size
+    programs = _resolved_programs(instance)
+    build = stress_spec.build
+    # derive_seed is a left fold over the labels, so hoisting the
+    # loop-invariant prefix yields the identical per-execution seed.
+    span_seed = derive_seed(
+        seed, profile.short_name, instance.test.name, instance.distance
+    )
     for i in range(start, stop):
-        rng = make_rng(
-            seed, profile.short_name, instance.test.name, instance.distance, i
-        )
-        field = stress_spec.build(
-            profile, instance.scratch_base, instance.scratch_size, rng
-        )
-        if _one_execution(profile, instance, field, rng, randomise):
+        rng = BufferedRNG(make_rng(span_seed, i))
+        field = build(profile, scratch_base, scratch_size, rng)
+        if mem is None:
+            mem = MemorySystem(profile, field, rng)
+        else:
+            mem.reset(stress=field, rng=rng)
+        if _one_execution(
+            profile, instance, field, rng, randomise,
+            mem=mem, programs=programs,
+        ):
             weak += 1
     return weak
 

@@ -1,0 +1,160 @@
+"""Golden-statistics regression tests for the litmus execution core.
+
+The hot-path overhaul (cached probability tables, BufferedRNG block
+pre-draws, O(1) buffer bookkeeping, memory-system reuse) promises to be
+**behaviour-preserving**: at a fixed seed the optimized core must
+reproduce the pre-refactor core's results bit for bit.  These tests pin
+fixed-seed weak-behaviour counts that were captured from the seed
+(pre-refactor) implementation, so this and future performance PRs cannot
+silently shift the model.
+
+Three layers of increasing sensitivity:
+
+* exact weak counts over MP/LB/SB x three chips x {no-str, sys-str} at
+  smoke scale (40 executions, seed 7, distance 2 x patch size);
+* per-execution weak *fingerprints* (exactly which global execution
+  indices were weak) for three cells — a count could survive two
+  cancelling draw-order changes, the fingerprint cannot;
+* serial vs ``jobs=N`` equality, which additionally exercises the
+  repro.parallel global-index seeding contract through the new core.
+
+The values are tied to numpy's stable PCG64 stream (raw outputs,
+``next_double``, the Lemire bounded-integer path and Floyd sampling —
+unchanged since numpy 1.17).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chips import get_chip
+from repro.litmus import LB, MP, SB, get_test, run_litmus
+from repro.litmus.runner import LitmusInstance, _litmus_span
+from repro.parallel import ParallelConfig
+from repro.stress.strategies import NoStress, TunedStress
+from repro.tuning.pipeline import shipped_params
+
+_SEED = 7
+_EXECUTIONS = 40
+
+#: Weak counts captured from the pre-refactor core (seed commit) at
+#: ``run_litmus(chip, test, 2 * patch_size, spec, executions=40, seed=7)``.
+GOLDEN_WEAK = {
+    ("K20", "MP", "no-str"): 0,
+    ("K20", "LB", "no-str"): 0,
+    ("K20", "SB", "no-str"): 0,
+    ("K20", "MP", "sys-str"): 10,
+    ("K20", "LB", "sys-str"): 3,
+    ("K20", "SB", "sys-str"): 2,
+    ("Titan", "MP", "no-str"): 0,
+    ("Titan", "LB", "no-str"): 0,
+    ("Titan", "SB", "no-str"): 0,
+    ("Titan", "MP", "sys-str"): 5,
+    ("Titan", "LB", "sys-str"): 4,
+    ("Titan", "SB", "sys-str"): 1,
+    ("980", "MP", "no-str"): 0,
+    ("980", "LB", "no-str"): 0,
+    ("980", "SB", "no-str"): 0,
+    ("980", "MP", "sys-str"): 0,
+    ("980", "LB", "sys-str"): 1,
+    ("980", "SB", "sys-str"): 0,
+}
+
+#: Which of the 40 global execution indices were weak (pre-refactor
+#: core, sys-str cells) — a much stronger invariant than the count.
+GOLDEN_FINGERPRINTS = {
+    ("K20", "MP"): (2, 3, 8, 9, 10, 19, 26, 31, 36, 39),
+    ("Titan", "LB"): (3, 4, 19, 31),
+    ("980", "MP"): (),
+}
+
+#: Weak count of the K20/MP sys-str cell under thread randomisation,
+#: 600 executions, seed 7 (pre-refactor core).
+GOLDEN_RANDOMISE_WEAK = 117
+
+
+def _env_spec(chip_name: str, env: str):
+    if env == "no-str":
+        return NoStress()
+    return TunedStress(shipped_params(chip_name))
+
+
+@pytest.mark.parametrize(
+    "chip_name,test_name,env",
+    sorted(GOLDEN_WEAK),
+    ids=lambda v: str(v),
+)
+def test_weak_counts_match_pre_refactor_core(chip_name, test_name, env):
+    chip = get_chip(chip_name)
+    result = run_litmus(
+        chip,
+        get_test(test_name),
+        2 * chip.patch_size,
+        _env_spec(chip_name, env),
+        executions=_EXECUTIONS,
+        seed=_SEED,
+    )
+    assert result.weak == GOLDEN_WEAK[(chip_name, test_name, env)]
+
+
+@pytest.mark.parametrize("chip_name,test_name", sorted(GOLDEN_FINGERPRINTS))
+def test_weak_fingerprints_match_pre_refactor_core(chip_name, test_name):
+    chip = get_chip(chip_name)
+    spec = TunedStress(shipped_params(chip_name))
+    instance = LitmusInstance.layout(
+        chip, get_test(test_name), 2 * chip.patch_size
+    )
+    weak_indices = tuple(
+        i
+        for i in range(_EXECUTIONS)
+        if _litmus_span(chip, instance, spec, _SEED, False, i, i + 1)
+    )
+    assert weak_indices == GOLDEN_FINGERPRINTS[(chip_name, test_name)]
+
+
+def test_randomised_weak_count_matches_pre_refactor_core():
+    chip = get_chip("K20")
+    spec = TunedStress(shipped_params("K20"))
+    instance = LitmusInstance.layout(chip, MP, 2 * chip.patch_size)
+    weak = _litmus_span(chip, instance, spec, _SEED, True, 0, 600)
+    assert weak == GOLDEN_RANDOMISE_WEAK
+
+
+@pytest.mark.parametrize("jobs", [2, 3])
+def test_sharded_runs_match_golden_counts(jobs):
+    """jobs=N must reproduce both the serial result and the golden
+    value (global-index seeding through the optimized core)."""
+    chip = get_chip("K20")
+    spec = TunedStress(shipped_params("K20"))
+    result = run_litmus(
+        chip,
+        MP,
+        2 * chip.patch_size,
+        spec,
+        executions=_EXECUTIONS,
+        seed=_SEED,
+        parallel=ParallelConfig(jobs=jobs),
+    )
+    assert result.weak == GOLDEN_WEAK[("K20", "MP", "sys-str")]
+
+
+def test_any_span_partition_matches_golden_count():
+    """Shard boundaries cannot influence a single draw: every partition
+    of the execution range sums to the same weak count."""
+    chip = get_chip("K20")
+    spec = TunedStress(shipped_params("K20"))
+    instance = LitmusInstance.layout(chip, MP, 2 * chip.patch_size)
+    for bounds in ([0, 40], [0, 7, 40], [0, 13, 14, 31, 40]):
+        total = sum(
+            _litmus_span(chip, instance, spec, _SEED, False, a, b)
+            for a, b in zip(bounds, bounds[1:])
+        )
+        assert total == GOLDEN_WEAK[("K20", "MP", "sys-str")]
+
+
+def test_all_three_tests_still_distinct():
+    """Sanity guard: the three idioms remain distinct workloads (the
+    golden table is not accidentally testing one program thrice)."""
+    assert MP.thread0 != LB.thread0
+    assert SB.thread0 != MP.thread0
+    assert {t.name for t in (MP, LB, SB)} == {"MP", "LB", "SB"}

@@ -5,9 +5,11 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.chips import SC_REFERENCE, get_chip
+from repro.errors import InvalidAccessError
 from repro.gpu.events import STALL
-from repro.gpu.memory import MemorySystem
+from repro.gpu.memory import MemorySystem, memory_tables
 from repro.gpu.pressure import StressField
+from repro.rng import BufferedRNG
 
 
 def make_mem(chip_name="K20", stress=None, seed=0):
@@ -290,3 +292,272 @@ class TestWeakBehaviourStatistics:
             drain(mem, 60)
             swaps += mem.n_swaps
         assert swaps == 0
+
+
+def buffer_indices_consistent(mem):
+    """Recompute the buffer-membership mirrors from scratch and compare
+    against the incrementally maintained ones."""
+    by_thread = {}
+    by_thread_ch = {}
+    by_addr = {}
+    total = 0
+    nonempty = set()
+    for sm, buf in enumerate(mem.sm_buffers):
+        for t, a, _v, c, _tick, _p in buf:
+            total += 1
+            nonempty.add(sm)
+            by_thread[(sm, t)] = by_thread.get((sm, t), 0) + 1
+            by_thread_ch[(sm, t, c)] = by_thread_ch.get((sm, t, c), 0) + 1
+            by_addr[(sm, a)] = by_addr.get((sm, a), 0) + 1
+    return (
+        total == mem.pending_stores()
+        and nonempty == mem._nonempty
+        and by_thread == mem._by_thread
+        and by_thread_ch == mem._by_thread_ch
+        and by_addr == mem._by_addr
+    )
+
+
+class TestBufferIndices:
+    """The O(1) membership mirrors must track the buffers through every
+    removal path (head drain, swap, rmw, fencing, drain_thread, flush)."""
+
+    def test_consistent_under_random_workload(self):
+        chip = get_chip("K20")
+        field = StressField.from_locations(
+            chip, 0, [0, 2 * chip.patch_size], 1.0, 640
+        )
+        for seed in range(30):
+            rng = np.random.default_rng(1000 + seed)
+            mem = MemorySystem(chip, field, np.random.default_rng(seed))
+            for _ in range(120):
+                op = rng.integers(0, 8)
+                sm = int(rng.integers(0, 3))
+                thread = int(rng.integers(0, 4))
+                addr = int(rng.integers(0, 8)) * 64
+                if op <= 2:
+                    mem.write(sm, thread, addr, 1)
+                elif op == 3:
+                    mem.rmw(sm, thread, addr, lambda v: v + 1, {})
+                elif op == 4:
+                    mem.issue_load(sm, thread, addr)
+                elif op == 5:
+                    mem.drain_thread(sm, thread)
+                elif op == 6:
+                    mem.fence_begin(thread)
+                    mem.step()
+                    mem.fence_done(sm, thread)
+                else:
+                    mem.step()
+                assert buffer_indices_consistent(mem)
+            mem.flush_all()
+            assert buffer_indices_consistent(mem)
+            assert mem.pending_stores() == 0
+
+    def test_rmw_commits_multiple_same_address_stores_in_order(self):
+        mem = make_mem()
+        mem.write(0, 0, 50, 10)
+        mem.write(0, 1, 50, 20)  # other thread, same address, same SM
+        mem.write(0, 0, 640, 7)  # unrelated channel, must stay buffered
+        old = mem.rmw(0, 2, 50, lambda v: v + 1)
+        # FIFO of the two same-address stores: 10 then 20, atomic last.
+        assert old == 20
+        assert mem.mem[50] == 21
+        assert mem.pending_stores() == 1  # the unrelated store remains
+        assert buffer_indices_consistent(mem)
+
+    def test_fencing_drain_preserves_order_and_other_threads(self):
+        mem = make_mem()
+        mem.write(0, 0, 0, 1)
+        mem.write(0, 1, 64, 2)
+        mem.write(0, 0, 128, 3)
+        mem.fence_begin(0)
+        mem.step()  # priority-drains thread 0's stores in FIFO order
+        # The fencing thread's stores are committed immediately; the
+        # other thread's store stays subject to the normal drain roll.
+        assert mem.mem[0] == 1 and mem.mem[128] == 3
+        assert not mem._by_thread.get((0, 0))
+        assert mem.pending_stores() in (0, 1)
+        assert buffer_indices_consistent(mem)
+
+    def test_drain_thread_no_op_without_stores(self):
+        mem = make_mem()
+        mem.write(0, 1, 0, 5)
+        mem.drain_thread(0, 0)  # thread 0 has nothing buffered
+        assert mem.pending_stores() == 1
+        assert buffer_indices_consistent(mem)
+
+    def test_unblocked_uses_counts(self):
+        mem = make_mem("sc-ref")
+        mem.write(0, 0, 0, 9)
+        handle = mem.issue_load(0, 0, 1)  # same channel -> blocked
+        assert not handle.resolved
+        assert not mem._unblocked(handle)
+        drain(mem)
+        assert mem._unblocked(handle)
+
+
+class TestReset:
+    def test_reset_equivalent_to_fresh_instance(self):
+        chip = get_chip("K20")
+        field = StressField.from_locations(
+            chip, 0, [0, 2 * chip.patch_size], 1.0, 640
+        )
+
+        def run(mem, rng):
+            mem.write(0, 0, 0, 1)
+            mem.write(0, 0, 2 * chip.patch_size, 1)
+            out = []
+            for _ in range(40):
+                mem.step()
+                out.append(mem.read(1, 1, 0))
+            mem.flush_all()
+            return out, mem.n_drains, mem.n_swaps
+
+        for seed in range(25):
+            fresh = run(
+                MemorySystem(chip, field, np.random.default_rng(seed)),
+                None,
+            )
+            reused = MemorySystem(
+                chip, StressField.zero(chip), np.random.default_rng(999)
+            )
+            reused.write(0, 3, 512, 8)  # dirty it
+            reused.issue_load(0, 2, 640)
+            reused.reset(stress=field, rng=np.random.default_rng(seed))
+            assert run(reused, None) == fresh
+            assert reused.tick > 0  # ran; reset rewound it before
+
+    def test_reset_clears_state(self):
+        mem = make_mem()
+        mem.write(0, 0, 0, 1)
+        mem.mem[999] = 5
+        mem.fence_begin(0)
+        mem.reset()
+        assert mem.pending_stores() == 0
+        assert mem.mem == {}
+        assert mem.tick == 0
+        assert mem._fencing == set()
+        assert mem.n_drains == 0
+        assert buffer_indices_consistent(mem)
+
+    def test_reset_swaps_weak_scale(self):
+        chip = get_chip("K20")
+        field = StressField.from_locations(
+            chip, 0, [0, chip.patch_size], 1.0, 640
+        )
+        a = MemorySystem(chip, field, weak_scale=1.0)
+        b = MemorySystem(chip, field, weak_scale=0.25)
+        a.reset(weak_scale=0.25)
+        assert a.bypass_p == b.bypass_p
+        assert a.drain_p == b.drain_p
+
+
+class TestTableCache:
+    def test_tables_shared_between_instances(self):
+        chip = get_chip("K20")
+        field = StressField.from_locations(
+            chip, 0, [0, chip.patch_size], 1.0, 640
+        )
+        a = MemorySystem(chip, field)
+        b = MemorySystem(chip, field)
+        assert a.drain_p is b.drain_p  # cached, not recomputed
+        assert a.swap_p is b.swap_p
+
+    def test_tables_differ_across_scales_and_fields(self):
+        chip = get_chip("K20")
+        field = StressField.from_locations(
+            chip, 0, [0, chip.patch_size], 1.0, 640
+        )
+        base = memory_tables(chip, field, 1.0)
+        assert memory_tables(chip, field, 0.5) != base
+        other = StressField.from_locations(
+            chip, 0, [0, 3 * chip.patch_size], 1.0, 640
+        )
+        assert memory_tables(chip, other, 1.0) != base
+
+    def test_tables_match_direct_computation(self):
+        """Cached tables are plain-list copies of the original numpy
+        formulas (spot-check drain_p against the closed form)."""
+        chip = get_chip("K20")
+        field = StressField.from_locations(
+            chip, 0, [0, chip.patch_size], 1.0, 640
+        )
+        drain_p, swap_p, bypass_p, slow_p, resolve_p = memory_tables(
+            chip, field, 1.0
+        )
+        n = chip.n_channels
+        assert len(drain_p) == n
+        assert len(swap_p) == n and all(len(row) == n for row in swap_p)
+        expected = 1.0 / (
+            1.0
+            + 0.05
+            + chip.latency_gain
+            * field.press
+            * chip.sensitivity
+            * field.turbulence
+        )
+        assert drain_p == expected.tolist()
+
+
+class TestHostFill:
+    def test_bulk_fill_matches_host_writes(self):
+        from repro.gpu.addresses import AddressSpace
+
+        mem = make_mem()
+        buf = AddressSpace().alloc("b", 8)
+        mem.host_fill(buf, range(8))
+        assert [mem.host_read(buf, i) for i in range(8)] == list(range(8))
+
+    def test_overflow_rejected(self):
+        from repro.gpu.addresses import AddressSpace
+
+        mem = make_mem()
+        buf = AddressSpace().alloc("b", 4)
+        with pytest.raises(InvalidAccessError):
+            mem.host_fill(buf, [0] * 5)
+
+
+class TestChannelFastPath:
+    def test_shift_mask_matches_division(self):
+        from repro.chips import all_chips
+
+        for chip in all_chips():
+            for addr in list(range(0, 4 * chip.patch_size * chip.n_channels, 7)):
+                assert chip.channel(addr) == (
+                    addr // chip.patch_size
+                ) % chip.n_channels
+
+    def test_memory_uses_same_mapping(self):
+        chip = get_chip("980")  # 64-word patches
+        mem = MemorySystem(chip, StressField.zero(chip))
+        mem.write(0, 0, 3 * chip.patch_size + 5, 1)
+        entry = mem.sm_buffers[0][0]
+        assert entry[3] == chip.channel(3 * chip.patch_size + 5)
+
+
+class TestBufferedRNGIntegration:
+    def test_memory_system_identical_with_buffered_rng(self):
+        """A MemorySystem driven by a BufferedRNG reproduces the raw
+        Generator behaviour draw for draw."""
+        chip = get_chip("K20")
+        field = StressField.from_locations(
+            chip, 0, [0, 2 * chip.patch_size], 1.0, 640
+        )
+
+        def run(rng):
+            mem = MemorySystem(chip, field, rng)
+            trace = []
+            mem.write(0, 0, 0, 1)
+            mem.write(0, 0, 2 * chip.patch_size, 2)
+            h = mem.issue_load(1, 1, 2 * chip.patch_size)
+            for _ in range(50):
+                mem.step()
+                trace.append((mem.read(1, 1, 0), mem.poll_load(h)))
+            mem.flush_all()
+            return trace, mem.n_drains, mem.n_swaps, mem.n_slow_loads
+
+        for seed in range(40):
+            raw = run(np.random.default_rng(seed))
+            buffered = run(BufferedRNG(np.random.default_rng(seed)))
+            assert raw == buffered

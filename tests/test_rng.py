@@ -1,10 +1,13 @@
-"""Tests for seeded RNG utilities."""
+"""Tests for seeded RNG utilities and the BufferedRNG wrapper."""
 
 from __future__ import annotations
 
-import numpy as np
+import random as pyrandom
 
-from repro.rng import derive_seed, make_rng, spawn
+import numpy as np
+import pytest
+
+from repro.rng import BufferedRNG, derive_seed, make_rng, spawn
 
 
 class TestDeriveSeed:
@@ -54,3 +57,168 @@ class TestSpawn:
         child = spawn(parent)
         assert isinstance(child, np.random.Generator)
         assert child.integers(1 << 30) != parent.integers(1 << 30) or True
+
+
+class TestBufferedRNGStreamExactness:
+    """BufferedRNG's draw-order contract: every mix of emulated and
+    delegated draws consumes the PCG64 stream exactly like a plain
+    Generator, so downstream statistics are bit-identical."""
+
+    def test_scalar_random_matches_generator(self):
+        ref = np.random.default_rng(42)
+        buf = BufferedRNG(np.random.default_rng(42))
+        assert [buf.random() for _ in range(500)] == [
+            ref.random() for _ in range(500)
+        ]
+
+    def test_scalar_integers_matches_generator(self):
+        ref = np.random.default_rng(9)
+        buf = BufferedRNG(np.random.default_rng(9))
+        for bound in (24, 2, 5, 1000, 13313):
+            got = [buf.integers(0, bound) for _ in range(50)]
+            want = [int(ref.integers(0, bound)) for _ in range(50)]
+            assert got == want, bound
+
+    def test_lemire32_matches_integers(self):
+        ref = np.random.default_rng(11)
+        buf = BufferedRNG(np.random.default_rng(11))
+        assert [buf._lemire32(24) for _ in range(100)] == [
+            int(ref.integers(0, 24)) for _ in range(100)
+        ]
+
+    def test_lemire32_delegates_in_direct_mode(self):
+        ref = np.random.default_rng(12)
+        buf = BufferedRNG(np.random.default_rng(12), direct=True)
+        assert [buf._lemire32(24) for _ in range(50)] == [
+            int(ref.integers(0, 24)) for _ in range(50)
+        ]
+        assert buf.random() == ref.random()
+
+    def test_choice_without_replacement_matches_generator(self):
+        for seed in range(30):
+            ref = np.random.default_rng(seed)
+            buf = BufferedRNG(np.random.default_rng(seed))
+            want = ref.choice(64, size=2, replace=False)
+            got = buf.choice(64, size=2, replace=False)
+            assert got.tolist() == want.tolist()
+            # stream position identical afterwards (incl. half-word buffer)
+            assert buf.integers(0, 1000) == int(ref.integers(0, 1000))
+            assert buf.random() == ref.random()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_mixed_stream_fuzz(self, seed):
+        """Random interleavings of emulated and delegated draws stay in
+        lockstep with a scalar-only Generator history."""
+        py = pyrandom.Random(seed)
+        ref = np.random.default_rng(1234 + seed)
+        buf = BufferedRNG(np.random.default_rng(1234 + seed))
+        for _ in range(300):
+            op = py.choice(
+                ["random", "random", "random", "i24", "ibig", "uniform",
+                 "choice", "vec"]
+            )
+            if op == "random":
+                assert buf.random() == ref.random()
+            elif op == "i24":
+                assert buf.integers(0, 24) == int(ref.integers(0, 24))
+            elif op == "ibig":
+                assert buf.integers(7, 13313) == int(ref.integers(7, 13313))
+            elif op == "uniform":
+                assert buf.uniform(0.35, 0.95) == ref.uniform(0.35, 0.95)
+            elif op == "choice":
+                assert (
+                    buf.choice(64, size=2, replace=False).tolist()
+                    == ref.choice(64, size=2, replace=False).tolist()
+                )
+            else:
+                assert buf.random(size=5).tolist() == ref.random(size=5).tolist()
+
+    def test_sync_rewind_is_exact_mid_block(self):
+        """A delegated call right after a partial block consumption sees
+        the same stream position as a scalar-only history."""
+        ref = np.random.default_rng(77)
+        buf = BufferedRNG(np.random.default_rng(77))
+        for _ in range(3):  # less than one block
+            assert buf.random() == ref.random()
+        assert buf.uniform(0.0, 1.0) == ref.uniform(0.0, 1.0)
+        assert buf.random() == ref.random()
+
+    def test_dirichlet_passthrough(self):
+        ref = np.random.default_rng(5)
+        buf = BufferedRNG(np.random.default_rng(5))
+        assert (
+            buf.dirichlet(np.full(4, 0.5)).tolist()
+            == ref.dirichlet(np.full(4, 0.5)).tolist()
+        )
+
+    def test_getattr_fallback_delegates(self):
+        ref = np.random.default_rng(6)
+        buf = BufferedRNG(np.random.default_rng(6))
+        assert buf.standard_normal() == ref.standard_normal()
+
+    def test_spawn_through_wrapper(self):
+        a = spawn(BufferedRNG(make_rng(3)))
+        b = spawn(make_rng(3))
+        assert a.random() == b.random()
+
+
+class TestBufferedRNGDegrade:
+    def test_degrades_to_direct_on_tight_interleaving(self):
+        buf = BufferedRNG(np.random.default_rng(0))
+        ref = np.random.default_rng(0)
+        # Alternate one buffered draw with one delegated draw: after a
+        # few poor syncs the wrapper must flip to direct mode...
+        for _ in range(20):
+            assert buf.random() == ref.random()
+            assert buf.uniform(0.0, 1.0) == ref.uniform(0.0, 1.0)
+        assert buf._direct
+        # ...and stay stream-exact afterwards.
+        assert [buf.random() for _ in range(10)] == [
+            ref.random() for _ in range(10)
+        ]
+        assert buf.integers(0, 24) == int(ref.integers(0, 24))
+
+    def test_direct_mode_construction(self):
+        buf = BufferedRNG(np.random.default_rng(1), direct=True)
+        ref = np.random.default_rng(1)
+        assert buf.random() == ref.random()
+        assert int(buf.integers(0, 24)) == int(ref.integers(0, 24))
+
+    def test_non_pcg64_generators_run_direct(self):
+        """The emulation is PCG64-specific; other bit generators must
+        fall back to pure delegation and stay stream-exact."""
+        buf = BufferedRNG(np.random.Generator(np.random.MT19937(3)))
+        ref = np.random.Generator(np.random.MT19937(3))
+        assert buf._direct
+        assert [buf.random() for _ in range(5)] == [
+            ref.random() for _ in range(5)
+        ]
+        assert int(buf.integers(0, 24)) == int(ref.integers(0, 24))
+        assert buf.uniform(0.0, 1.0) == ref.uniform(0.0, 1.0)
+        assert (
+            buf.choice(64, size=2, replace=False).tolist()
+            == ref.choice(64, size=2, replace=False).tolist()
+        )
+
+
+class TestBufferedRNGInEngine:
+    def test_scheduler_accepts_buffered_rng(self):
+        """The engine's scheduler draws integers/choice every tick; a
+        BufferedRNG threaded through it must behave identically to the
+        raw generator it wraps."""
+        from repro.gpu.scheduler import WarpScheduler
+        from repro.gpu.warp import Warp
+
+        class _ActiveThread:
+            active = True
+            done = False
+
+        def picks(rng):
+            warps = [Warp(0, i, [_ActiveThread()]) for i in range(4)]
+            sched = WarpScheduler(warps, 2, rng, randomise=False)
+            return [
+                None if (w := sched.pick()) is None else w.warp_id
+                for _ in range(200)
+            ]
+
+        assert picks(BufferedRNG(make_rng(21))) == picks(make_rng(21))
