@@ -1,0 +1,193 @@
+"""Application-execution throughput: the SIMT-engine trajectory anchor.
+
+The litmus runner covers the paper's Sec. 3 tuning loops; everything
+else — the Sec. 4 application campaigns, Sec. 5 empirical fence
+insertion and the Sec. 6 cost study — multiplies application
+runs/second through the SIMT engine.  This benchmark measures the two
+shapes those harnesses actually execute:
+
+* one sys-str campaign cell (cbe-dot on K20 under the tuned ``sys-str+``
+  environment) through the batch driver
+  (:class:`repro.apps.base.ApplicationBatch`) and, for comparison, the
+  one-shot :func:`run_application` path;
+* one empirical fence-insertion reduction (Algorithm 1 on cbe-dot/K20
+  at a reduced scale), reported as check-runs/second.
+
+Measurements land in ``BENCH_throughput.json`` via the ``bench_json``
+emitter, merged with the litmus numbers when both files run in one
+pytest session::
+
+    REPRO_BENCH_JSON=BENCH_throughput.json pytest \
+        benchmarks/bench_throughput.py benchmarks/bench_app_throughput.py -s
+
+Each measurement re-checks its fixed-seed statistics against golden
+values captured from the pre-batch engine, so a throughput win can
+never come from silently changing the model (the full pinning lives in
+``tests/test_golden_stats.py``).
+
+``reference.pre_pr_app_runs_per_sec`` is the pre-overhaul engine
+measured on this PR's development machine (best of three 100-run
+timings, same workload); the overhaul measured ~2.2x that on the same
+machine.  The ratio is only meaningful for runs on comparable hardware —
+the JSON records the current machine's absolute numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+from repro.apps.base import ApplicationBatch, run_application
+from repro.apps.registry import get_application
+from repro.chips import get_chip
+from repro.hardening.insertion import empirical_fence_insertion
+from repro.rng import derive_seed
+from repro.scale import SMOKE
+from repro.stress.environment import standard_environments
+from repro.tuning.pipeline import shipped_params
+
+#: Runs per timed campaign-cell measurement (override for quick smoke:
+#: the golden-count cross-check only applies at the default size).
+_RUNS = int(os.environ.get("REPRO_BENCH_APP_RUNS", "100"))
+_SEED = 7
+_REPS = 3
+
+#: Errors over the 100-run cbe-dot/K20/sys-str+ workload at seed 7 on
+#: the pre-batch engine (bit-identity makes this the current value too).
+_GOLDEN_ERRORS = 18
+
+#: Pre-overhaul throughput on the PR's development machine (see module
+#: docstring); kept in the JSON so the perf trajectory has an anchor.
+_REFERENCE = {
+    "workload": "cbe-dot/K20 sys-str+ campaign cell, 100 runs, seed 7",
+    "pre_pr_app_runs_per_sec": 64.4,
+    "pre_pr_insertion_check_runs_per_sec": 61.7,
+    "note": "best-of-3 on this PR's dev container; compare only on "
+    "the same machine",
+}
+
+
+def _sys_str_env():
+    return next(
+        e
+        for e in standard_environments(shipped_params("K20"))
+        if e.name == "sys-str+"
+    )
+
+
+def _seeds():
+    return [
+        derive_seed(_SEED, "campaign", "sys-str+", i) for i in range(_RUNS)
+    ]
+
+
+def _best_rate(run, n):
+    best = 0.0
+    value = None
+    for _ in range(_REPS):
+        start = time.perf_counter()
+        value = run()
+        elapsed = time.perf_counter() - start
+        best = max(best, n / elapsed)
+    return best, value
+
+
+def test_batch_sys_str_cell_throughput(bench_json):
+    """The campaign-cell hot loop: one ApplicationBatch, many seeds."""
+    app = get_application("cbe-dot")
+    chip = get_chip("K20")
+    env = _sys_str_env()
+    seeds = _seeds()
+    batch = ApplicationBatch(
+        app, chip, stress_spec=env.strategy, randomise=env.randomise
+    )
+    batch.run(seeds[0])  # warm caches
+
+    rate, errors = _best_rate(
+        lambda: sum(batch.run(s).erroneous for s in seeds), _RUNS
+    )
+    if _RUNS == 100:
+        assert errors == _GOLDEN_ERRORS  # golden tie-in
+    assert rate > 0
+    bench_json.setdefault("app_reference", _REFERENCE)
+    bench_json["app_batch_sys_str"] = {
+        "runs": _RUNS,
+        "errors": errors,
+        "runs_per_sec": round(rate, 1),
+    }
+    print(f"\nbatch sys-str cell: {rate:,.1f} runs/s (errors={errors})")
+
+
+def test_single_run_sys_str_cell_throughput(bench_json):
+    """The one-shot path (setup per run), for the amortisation delta."""
+    app = get_application("cbe-dot")
+    chip = get_chip("K20")
+    env = _sys_str_env()
+    seeds = _seeds()
+
+    def run():
+        return sum(
+            run_application(
+                app,
+                chip,
+                stress_spec=env.strategy,
+                randomise=env.randomise,
+                seed=s,
+            ).erroneous
+            for s in seeds
+        )
+
+    run_application(
+        app, chip, stress_spec=env.strategy, randomise=env.randomise,
+        seed=seeds[0],
+    )
+    rate, errors = _best_rate(run, _RUNS)
+    if _RUNS == 100:
+        assert errors == _GOLDEN_ERRORS
+    bench_json["app_single_sys_str"] = {
+        "runs": _RUNS,
+        "errors": errors,
+        "runs_per_sec": round(rate, 1),
+    }
+    print(f"\nsingle-run sys-str cell: {rate:,.1f} runs/s (errors={errors})")
+
+
+def test_fence_insertion_reduction_throughput(bench_json):
+    """One Algorithm-1 reduction (cbe-dot/K20) at a reduced scale.
+
+    The reduction's wall-clock is dominated by its CheckApplication
+    runs, so check-runs/second is the comparable rate; the converged
+    fence set is asserted against the application's ground truth so the
+    timing can never drift off the real workload.
+    """
+    scale = dataclasses.replace(SMOKE, stability_runs=40)
+    app = get_application("cbe-dot")
+
+    def run():
+        return empirical_fence_insertion(
+            app,
+            get_chip("K20"),
+            scale=scale,
+            seed=_SEED,
+            initial_iterations=8,
+        )
+
+    start = time.perf_counter()
+    result = run()
+    elapsed = time.perf_counter() - start
+    assert result.converged
+    assert result.reduced == app.required_sites()
+    rate = result.check_runs / elapsed
+    bench_json["fence_insertion_reduction"] = {
+        "app": "cbe-dot",
+        "chip": "K20",
+        "check_runs": result.check_runs,
+        "seconds": round(elapsed, 3),
+        "check_runs_per_sec": round(rate, 1),
+        "reduced_fences": sorted(result.reduced),
+    }
+    print(
+        f"\nfence insertion: {result.check_runs} check runs in "
+        f"{elapsed:.2f}s ({rate:,.1f} runs/s)"
+    )

@@ -30,7 +30,13 @@ True
 True
 """
 
-from .apps.base import AppRun, Application, run_application
+from .apps.base import (
+    ApplicationBatch,
+    AppRun,
+    Application,
+    run_application,
+    run_application_batch,
+)
 from .apps.registry import all_applications, get_application
 from .chips.registry import SC_REFERENCE, all_chips, get_chip
 from .errors import ReproError
@@ -59,7 +65,9 @@ __version__ = "1.0.0"
 __all__ = [
     "AppRun",
     "Application",
+    "ApplicationBatch",
     "run_application",
+    "run_application_batch",
     "all_applications",
     "get_application",
     "SC_REFERENCE",

@@ -8,13 +8,21 @@ and an enumeration of fence *sites* (one per global memory access) used
 by empirical fence insertion.
 """
 
-from .base import Application, AppRun, run_application
+from .base import (
+    Application,
+    ApplicationBatch,
+    AppRun,
+    run_application,
+    run_application_batch,
+)
 from .registry import all_applications, get_application, table4_rows
 
 __all__ = [
     "Application",
+    "ApplicationBatch",
     "AppRun",
     "run_application",
+    "run_application_batch",
     "all_applications",
     "get_application",
     "table4_rows",

@@ -97,6 +97,122 @@ class Application(abc.ABC):
         }
 
 
+class ApplicationBatch:
+    """Reusable execution context for many runs of one (app, chip, env).
+
+    A campaign cell, a fence-insertion reduction or a cost-study loop
+    performs thousands of :func:`run_application`-shaped executions that
+    differ only in seed (and, for insertion, the fence set).  Everything
+    else is run-invariant, so it is built exactly once here:
+
+    * the :class:`AddressSpace` layout (bump allocation is
+      deterministic, so every run sees the same buffer bases);
+    * the application's host-initialised memory image (``setup`` writes
+      are captured into a dict and replayed per run);
+    * the kernel launches, post-condition checker and stressing
+      geometry (scratchpad, thread ranges, warp counts);
+    * one :class:`MemorySystem` (restored via ``reset``) and one
+      :class:`Engine` (re-pointed at each run's generator).
+
+    Per run only the seed-derived :class:`BufferedRNG`, the stress field
+    it draws, and the thread coroutines (grid build inside the engine)
+    are fresh.  The draw order is identical to a standalone
+    :func:`run_application` — stress build, stress units, then the
+    engine's tick stream — so ``run(seed)`` is bit-identical to a
+    single run at the same seed (pinned by the app-path golden
+    statistics in ``tests/test_golden_stats.py``).
+
+    ``fence_sites`` is per-run rather than per-batch: fences only enter
+    through the per-run kernel instantiation, which lets one batch serve
+    an entire fence-insertion reduction across all its candidate sets.
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        chip: HardwareProfile,
+        stress_spec=None,
+        randomise: bool = False,
+        max_ticks: int = APP_MAX_TICKS,
+    ):
+        if stress_spec is None:
+            stress_spec = NoStress()
+        self.app = app
+        self.chip = chip
+        self.randomise = randomise
+        self.max_ticks = max_ticks
+
+        # Buffers are allocated with cudaMalloc's 256-byte (64-word)
+        # alignment, so distinct buffers occupy distinct patches.
+        space = AddressSpace(default_align=64)
+        # The memory system is created before setup so applications can
+        # host-initialise through it; the construction-time generator is
+        # a placeholder (``reset`` installs each run's stream before any
+        # draw happens).
+        mem = MemorySystem(chip, weak_scale=chip.app_sensitivity(app.name))
+        self._launches, self._checker = app.setup(space, mem)
+        self._scratch = space.alloc(
+            "stress-scratchpad",
+            4096,
+            align=chip.patch_size * chip.n_channels,
+        )
+        self._image = dict(mem.mem)
+        self._mem = mem
+
+        self._app_warps = sum(
+            cfg.grid_dim * cfg.warps_per_block for _k, cfg in self._launches
+        )
+        app_threads = max(cfg.n_threads for _k, cfg in self._launches)
+        # Paper Sec. 4.2: stressing blocks are 15%-50% of the
+        # application's blocks, so thread counts scale with the
+        # application, not the chip.
+        self._spec = with_threads_range(
+            stress_spec,
+            (max(8, app_threads // 6), max(16, app_threads // 2)),
+        )
+        self._engine = Engine(
+            chip,
+            mem,
+            mem.rng,
+            max_ticks=max_ticks,
+            randomise=randomise,
+        )
+
+    def run(
+        self, seed: int, fence_sites: frozenset[str] | None = None
+    ) -> AppRun:
+        """Execute the application once at ``seed``.
+
+        ``fence_sites`` of ``None`` means "as shipped" (the
+        application's ``base_fences``); pass an explicit set when
+        experimenting with fence placements (Sec. 5 and Sec. 6).
+        """
+        app = self.app
+        chip = self.chip
+        if fence_sites is None:
+            fence_sites = app.base_fences
+        # BufferedRNG serves the memory system's and scheduler's scalar
+        # draws from block pre-draws of the identical stream (see
+        # repro.rng); delegated distributions sync the stream position
+        # first, so every statistic matches the raw generator's.
+        rng = BufferedRNG(make_rng(seed, "app", app.name, chip.short_name))
+        mem = self._mem
+        mem.reset(rng=rng)
+        mem.mem.update(self._image)
+        scratch = self._scratch
+        spec = self._spec
+        mem.set_stress(spec.build(chip, scratch.base, scratch.size, rng))
+
+        engine = self._engine
+        engine.rng = rng
+        engine.n_stress_units = spec.stress_units(self._app_warps, rng)
+        result = engine.run_all(
+            self._launches, fence_sites=frozenset(fence_sites)
+        )
+        ok = (not result.timed_out) and bool(self._checker(mem))
+        return AppRun(ok=ok, timed_out=result.timed_out, result=result)
+
+
 def run_application(
     app: Application,
     chip: HardwareProfile,
@@ -108,55 +224,39 @@ def run_application(
 ) -> AppRun:
     """Execute ``app`` once on ``chip`` under a testing environment.
 
-    ``fence_sites`` of ``None`` means "as shipped" (the application's
-    ``base_fences``); pass an explicit set when experimenting with fence
-    placements (Sec. 5 and Sec. 6).
+    One-shot convenience over :class:`ApplicationBatch`; loops should
+    build the batch themselves (or call :func:`run_application_batch`)
+    so the per-run setup cost is paid once.
     """
-    if stress_spec is None:
-        stress_spec = NoStress()
-    if fence_sites is None:
-        fence_sites = app.base_fences
-    # BufferedRNG serves the memory system's scalar draws from block
-    # pre-draws of the identical stream; the engine's scheduler
-    # interleaves other distributions every tick, in which case the
-    # wrapper degrades itself to direct delegation (see repro.rng).
-    rng = BufferedRNG(make_rng(seed, "app", app.name, chip.short_name))
-
-    # Buffers are allocated with cudaMalloc's 256-byte (64-word)
-    # alignment, so distinct buffers occupy distinct patches.
-    space = AddressSpace(default_align=64)
-    # The memory system is created before setup so applications can
-    # host-initialise through it; the stress field is attached after the
-    # scratchpad is allocated (it only affects kernel execution).
-    mem = MemorySystem(
+    batch = ApplicationBatch(
+        app,
         chip,
-        rng=rng,
-        weak_scale=chip.app_sensitivity(app.name),
-    )
-    launches, checker = app.setup(space, mem)
-    scratch = space.alloc(
-        "stress-scratchpad", 4096, align=chip.patch_size * chip.n_channels
-    )
-
-    app_warps = sum(
-        cfg.grid_dim * cfg.warps_per_block for _k, cfg in launches
-    )
-    app_threads = max(cfg.n_threads for _k, cfg in launches)
-    # Paper Sec. 4.2: stressing blocks are 15%-50% of the application's
-    # blocks, so thread counts scale with the application, not the chip.
-    spec = with_threads_range(
-        stress_spec, (max(8, app_threads // 6), max(16, app_threads // 2))
-    )
-    mem.set_stress(spec.build(chip, scratch.base, scratch.size, rng))
-
-    engine = Engine(
-        chip,
-        mem,
-        rng,
-        max_ticks=max_ticks,
-        n_stress_units=spec.stress_units(app_warps, rng),
+        stress_spec=stress_spec,
         randomise=randomise,
+        max_ticks=max_ticks,
     )
-    result = engine.run_all(launches, fence_sites=frozenset(fence_sites))
-    ok = (not result.timed_out) and bool(checker(mem))
-    return AppRun(ok=ok, timed_out=result.timed_out, result=result)
+    return batch.run(seed, fence_sites=fence_sites)
+
+
+def run_application_batch(
+    app: Application,
+    chip: HardwareProfile,
+    seeds,
+    stress_spec=None,
+    randomise: bool = False,
+    fence_sites: frozenset[str] | None = None,
+    max_ticks: int = APP_MAX_TICKS,
+) -> list[AppRun]:
+    """Execute ``app`` once per seed in ``seeds``, with setup done once.
+
+    Each element equals the :func:`run_application` result at the same
+    seed bit for bit; only the shared setup work is amortised.
+    """
+    batch = ApplicationBatch(
+        app,
+        chip,
+        stress_spec=stress_spec,
+        randomise=randomise,
+        max_ticks=max_ticks,
+    )
+    return [batch.run(seed, fence_sites=fence_sites) for seed in seeds]

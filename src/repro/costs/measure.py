@@ -21,7 +21,7 @@ import enum
 import statistics
 from dataclasses import dataclass
 
-from ..apps.base import Application, run_application
+from ..apps.base import Application, ApplicationBatch
 from ..chips.power import PowerModel
 from ..chips.profile import HardwareProfile
 from ..hardening.fence_sets import all_fences
@@ -91,12 +91,19 @@ def measure_cost(
     seed: int = 0,
     empirical: frozenset[str] | None = None,
 ) -> CostMeasurement:
-    """Average native runtime/energy over ``runs`` passing executions."""
+    """Average native runtime/energy over ``runs`` passing executions.
+
+    The retry loop shares one :class:`ApplicationBatch` (native
+    conditions: no stress, no randomisation), so repeated attempts cost
+    only the execution itself.
+    """
     power = PowerModel(chip)
     runtimes: list[float] = []
     energies: list[float] = []
     discarded = 0
     attempt = 0
+    batch = ApplicationBatch(app, chip)
+    fences = fences_for(app, strategy, empirical)
     while len(runtimes) < runs:
         attempt += 1
         if attempt > runs * 4:
@@ -104,11 +111,9 @@ def measure_cost(
                 f"too many erroneous native runs for {app.name} on "
                 f"{chip.short_name}; cannot measure cost"
             )
-        result = run_application(
-            app,
-            chip,
-            seed=derive_seed(seed, "cost", strategy.value, attempt),
-            fence_sites=fences_for(app, strategy, empirical),
+        result = batch.run(
+            derive_seed(seed, "cost", strategy.value, attempt),
+            fence_sites=fences,
         )
         if result.erroneous:
             # The paper discards runs failing the post-condition.

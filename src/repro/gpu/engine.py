@@ -11,6 +11,19 @@ drain), so fence delays overlap across threads and only lengthen the
 kernel along its critical path.  Kernel runtime in cycles is simply the
 tick count; the accumulated fence stall cycles additionally feed the
 Sec. 6 energy model as low-activity cycles.
+
+Hot-path notes (see docs/ARCHITECTURE.md "Hot path & determinism"):
+
+* The tick loop is O(1) per tick outside the picked warp: kernel
+  completion reads the grid's maintained live-thread counter, each
+  thread carries its SM (no per-run key->SM dict), and warp runnability
+  transitions are pushed to the scheduler's incremental runnable list.
+* Operations dispatch through a table keyed on the op kind instead of
+  an if-chain, and each thread's per-op scratch dict is reused
+  (cleared, not reallocated) across operations.
+* None of this touches a random draw: the scheduler consumes the same
+  stream in the same order, so fixed-seed executions are bit-identical
+  (pinned by the app-path golden statistics).
 """
 
 from __future__ import annotations
@@ -101,7 +114,24 @@ class ExecutionResult:
 
 
 class Engine:
-    """Drives a grid of kernel coroutines over a :class:`MemorySystem`."""
+    """Drives a grid of kernel coroutines over a :class:`MemorySystem`.
+
+    One instance may execute many runs back to back; the batch driver
+    (:class:`repro.apps.base.ApplicationBatch`) re-points ``rng`` and
+    ``n_stress_units`` between runs instead of reconstructing it.
+    """
+
+    __slots__ = (
+        "chip",
+        "memory",
+        "rng",
+        "max_ticks",
+        "n_stress_units",
+        "randomise",
+        "raise_on_timeout",
+        "_grid",
+        "_scheduler",
+    )
 
     def __init__(
         self,
@@ -120,6 +150,8 @@ class Engine:
         self.n_stress_units = n_stress_units
         self.randomise = randomise
         self.raise_on_timeout = raise_on_timeout
+        self._grid = None
+        self._scheduler: WarpScheduler | None = None
 
     # ------------------------------------------------------------------
     def run(
@@ -136,10 +168,11 @@ class Engine:
             fence_sites=fence_sites,
             randomise_rng=self.rng if self.randomise else None,
         )
-        sm_of_key = {t.key: b.sm for b in grid.blocks for t in b.threads}
         scheduler = WarpScheduler(
             grid.warps, self.n_stress_units, self.rng, self.randomise
         )
+        self._grid = grid
+        self._scheduler = scheduler
         mem = self.memory
         swaps0, byp0, slow0 = mem.n_swaps, mem.n_bypasses, mem.n_slow_loads
 
@@ -148,37 +181,52 @@ class Engine:
         n_fences = 0
         barrier_blocks: set[int] = set()
         timed_out = False
+        max_ticks = self.max_ticks
+        pick = scheduler.pick
+        step = mem.step
+        exec_op = self._exec
 
-        while not grid.finished:
-            ticks += 1
-            if ticks > self.max_ticks:
-                timed_out = True
-                break
-            warp = scheduler.pick()
-            if warp is not None:
-                for thread in warp.threads:
-                    sm = sm_of_key[thread.key]
-                    if thread.sleep_until > ticks:
-                        continue
-                    for _ in range(BURST):
-                        if not thread.active:
-                            break
-                        stall, fenced, progressed = self._exec(thread, sm)
-                        if stall:
-                            # The fencing thread waits out the pipeline
-                            # flush; other warps keep running (fence
-                            # stalls overlap across threads).
-                            thread.sleep_until = ticks + stall
-                        fence_stalls += stall
-                        n_fences += fenced
-                        if thread.at_barrier:
-                            barrier_blocks.add(warp.block_id)
-                            break
-                        if not progressed:
-                            break
-            mem.step()
-            if barrier_blocks:
-                self._release_barriers(grid, barrier_blocks)
+        try:
+            while grid.n_live:
+                ticks += 1
+                if ticks > max_ticks:
+                    timed_out = True
+                    break
+                warp = pick()
+                if warp is not None:
+                    for thread in warp.threads:
+                        if thread.sleep_until > ticks:
+                            continue
+                        for _ in range(BURST):
+                            if thread.done or thread.at_barrier:
+                                break
+                            stall, fenced, progressed = exec_op(thread)
+                            if stall:
+                                # The fencing thread waits out the
+                                # pipeline flush; other warps keep
+                                # running (fence stalls overlap across
+                                # threads).
+                                thread.sleep_until = ticks + stall
+                                fence_stalls += stall
+                            n_fences += fenced
+                            if thread.at_barrier:
+                                barrier_blocks.add(warp.block_id)
+                                break
+                            if not progressed:
+                                break
+                step()
+                if barrier_blocks:
+                    self._release_barriers(grid, barrier_blocks)
+        finally:
+            # A kernel programming error escaping the loop must not
+            # leave the grid pinned on a batch-held engine.
+            self._grid = None
+            self._scheduler = None
+
+        # The loop only exits with every thread finished or the tick
+        # budget exhausted; live_threads() additionally cross-checks the
+        # maintained counter against the done-flag scan under pytest.
+        assert timed_out or grid.live_threads() == 0
 
         mem.flush_all()
         if timed_out and self.raise_on_timeout:
@@ -209,76 +257,99 @@ class Engine:
         return result
 
     # ------------------------------------------------------------------
-    def _exec(self, thread: SimThread, sm: int) -> tuple[int, int, bool]:
+    # per-operation handlers (dispatched on the op kind)
+    # ------------------------------------------------------------------
+    def _exec(self, thread: SimThread) -> tuple[int, int, bool]:
         """Attempt one operation for one thread.
 
         Returns (fence stall cycles charged, fences completed, whether
         the operation completed — False means the thread is stalled and
         its burst ends).
         """
-        if thread.op is None and not self._advance(thread):
-            return 0, 0, False
         op = thread.op
-        kind = op[0]
-        mem = self.memory
-        if kind == OP_STORE:
-            if mem.write(sm, thread.key, op[1], op[2]):
-                self._complete(thread, None)
-                return 0, 0, True
-            return 0, 0, False
-        if kind == OP_LOAD:
-            value = mem.read(sm, thread.key, op[1], thread.op_state)
-            if value is not STALL:
-                self._complete(thread, value)
-                return 0, 0, True
-            return 0, 0, False
-        if kind == OP_RMW:
-            old = mem.rmw(sm, thread.key, op[1], op[2], thread.op_state)
-            if old is not STALL:
-                self._complete(thread, old)
-                return 0, 0, True
-            return 0, 0, False
-        if kind == OP_FENCE:
-            if not thread.op_state.get("begun"):
-                thread.op_state["pending"] = mem.thread_pending(
-                    sm, thread.key
-                )
-                mem.fence_begin(thread.key)
-                thread.op_state["begun"] = True
-            if mem.fence_done(sm, thread.key):
-                had_pending = thread.op_state.get("pending", False)
-                self._complete(thread, None)
-                if had_pending:
-                    # The fence actually waited on the write pipeline.
-                    cost = self.chip.fence_stall_cycles
-                else:
-                    # Nothing to drain: a fence after a load (or an
-                    # already-drained store) costs almost nothing.
-                    cost = 2
-                if op[1] != FENCE_DEVICE:
-                    cost = cost // 4 + 1  # block-level fences are cheap
-                return cost, 1, True
-            return 0, 0, False
-        if kind == OP_BARRIER:
-            thread.at_barrier = True
-            thread.op = None
-            thread.to_send = None
-            return 0, 0, True
-        if kind == OP_NOOP:
+        if op is None:
+            if not self._advance(thread):
+                return 0, 0, False
+            op = thread.op
+        try:
+            handler = _OP_HANDLERS[op[0]]
+        except KeyError:  # pragma: no cover - kernel programming error
+            raise ValueError(
+                f"unknown op {op!r} from thread {thread.key}"
+            ) from None
+        return handler(self, thread, op)
+
+    def _op_store(self, thread: SimThread, op: tuple) -> tuple[int, int, bool]:
+        if self.memory.write(thread.sm, thread.key, op[1], op[2]):
             self._complete(thread, None)
             return 0, 0, True
-        raise ValueError(  # pragma: no cover - kernel programming error
-            f"unknown op {op!r} from thread {thread.key}"
+        return 0, 0, False
+
+    def _op_load(self, thread: SimThread, op: tuple) -> tuple[int, int, bool]:
+        value = self.memory.read(
+            thread.sm, thread.key, op[1], thread.op_state
         )
+        if value is not STALL:
+            self._complete(thread, value)
+            return 0, 0, True
+        return 0, 0, False
+
+    def _op_rmw(self, thread: SimThread, op: tuple) -> tuple[int, int, bool]:
+        old = self.memory.rmw(
+            thread.sm, thread.key, op[1], op[2], thread.op_state
+        )
+        if old is not STALL:
+            self._complete(thread, old)
+            return 0, 0, True
+        return 0, 0, False
+
+    def _op_fence(self, thread: SimThread, op: tuple) -> tuple[int, int, bool]:
+        mem = self.memory
+        op_state = thread.op_state
+        if not op_state.get("begun"):
+            op_state["pending"] = mem.thread_pending(thread.sm, thread.key)
+            mem.fence_begin(thread.key)
+            op_state["begun"] = True
+        if mem.fence_done(thread.sm, thread.key):
+            had_pending = op_state.get("pending", False)
+            self._complete(thread, None)
+            if had_pending:
+                # The fence actually waited on the write pipeline.
+                cost = self.chip.fence_stall_cycles
+            else:
+                # Nothing to drain: a fence after a load (or an
+                # already-drained store) costs almost nothing.
+                cost = 2
+            if op[1] != FENCE_DEVICE:
+                cost = cost // 4 + 1  # block-level fences are cheap
+            return cost, 1, True
+        return 0, 0, False
+
+    def _op_barrier(
+        self, thread: SimThread, op: tuple
+    ) -> tuple[int, int, bool]:
+        thread.at_barrier = True
+        thread.op = None
+        thread.to_send = None
+        warp = thread.warp
+        warp.n_active -= 1
+        if not warp.n_active:
+            self._scheduler.note_unrunnable(warp)
+        return 0, 0, True
+
+    def _op_noop(self, thread: SimThread, op: tuple) -> tuple[int, int, bool]:
+        self._complete(thread, None)
+        return 0, 0, True
 
     @staticmethod
     def _complete(thread: SimThread, value: object) -> None:
         thread.op = None
-        thread.op_state = {}
+        state = thread.op_state
+        if state:
+            state.clear()
         thread.to_send = value
 
-    @staticmethod
-    def _advance(thread: SimThread) -> bool:
+    def _advance(self, thread: SimThread) -> bool:
         """Pull the next op from the coroutine; False if it finished."""
         try:
             if thread.started:
@@ -288,9 +359,16 @@ class Engine:
                 op = next(thread.gen)
         except StopIteration:
             thread.done = True
+            self._grid.n_live -= 1
+            warp = thread.warp
+            warp.n_active -= 1
+            if not warp.n_active:
+                self._scheduler.note_unrunnable(warp)
             return False
         thread.op = op
-        thread.op_state = {}
+        state = thread.op_state
+        if state:
+            state.clear()
         thread.to_send = None
         return True
 
@@ -300,6 +378,22 @@ class Engine:
             block = grid.blocks[block_id]
             if block.barrier_ready():
                 for thread in block.release_barrier():
+                    warp = thread.warp
+                    if not warp.n_active:
+                        self._scheduler.note_runnable(warp)
+                    warp.n_active += 1
                     self.memory.drain_thread(block.sm, thread.key)
                 done.append(block_id)
         barrier_blocks.difference_update(done)
+
+
+#: Op-kind dispatch table (module level so it is built once; handlers
+#: are plain functions taking the engine instance explicitly).
+_OP_HANDLERS = {
+    OP_STORE: Engine._op_store,
+    OP_LOAD: Engine._op_load,
+    OP_RMW: Engine._op_rmw,
+    OP_FENCE: Engine._op_fence,
+    OP_BARRIER: Engine._op_barrier,
+    OP_NOOP: Engine._op_noop,
+}

@@ -10,6 +10,8 @@ synchronisation.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from .block import Block
@@ -19,19 +21,43 @@ from .warp import SimThread, Warp
 
 
 class Grid:
-    """All blocks of one kernel launch."""
+    """All blocks of one kernel launch.
+
+    ``n_live`` counts threads whose coroutines have not finished; the
+    engine decrements it exactly once per thread (when ``_advance`` sees
+    ``StopIteration``), which makes the per-tick termination check O(1)
+    instead of a scan over every thread.
+    """
+
+    __slots__ = ("blocks", "threads", "warps", "n_live")
 
     def __init__(self, blocks: list[Block]):
         self.blocks = blocks
         self.threads = [t for b in blocks for t in b.threads]
         self.warps = [w for b in blocks for w in b.warps]
+        for index, warp in enumerate(self.warps):
+            warp.index = index
+        self.n_live = len(self.threads)
 
     @property
     def finished(self) -> bool:
-        return all(t.done for t in self.threads)
+        return self.n_live == 0
 
     def live_threads(self) -> int:
-        return sum(1 for t in self.threads if not t.done)
+        """Number of unfinished threads (the maintained counter).
+
+        Under pytest the counter is cross-checked against the O(n) scan
+        it replaced, so any missed or double-counted transition in the
+        engine fails loudly instead of silently skewing termination.
+        """
+        n = self.n_live
+        if os.environ.get("PYTEST_CURRENT_TEST"):
+            scan = sum(1 for t in self.threads if not t.done)
+            assert n == scan, (
+                f"live-thread counter {n} disagrees with done-flag scan "
+                f"{scan}"
+            )
+        return n
 
 
 def build_grid(
@@ -41,7 +67,12 @@ def build_grid(
     fence_sites: frozenset[str] = frozenset(),
     randomise_rng: np.random.Generator | None = None,
 ) -> Grid:
-    """Instantiate every thread coroutine and group into warps/blocks."""
+    """Instantiate every thread coroutine and group into warps/blocks.
+
+    Each thread's SM is stored on the thread itself (blocks are pinned
+    to SMs for the whole launch), so the engine needs no per-run
+    key-to-SM mapping.
+    """
     sm_of_block = list(range(config.grid_dim))
     if randomise_rng is not None:
         randomise_rng.shuffle(sm_of_block)
@@ -63,7 +94,9 @@ def build_grid(
                     warp_size=config.warp_size,
                     fence_sites=fence_sites,
                 )
-                threads.append(SimThread(key, ctx, kernel.instantiate(ctx)))
+                threads.append(
+                    SimThread(key, ctx, kernel.instantiate(ctx), sm=sm)
+                )
                 key += 1
             warps.append(Warp(block_id, warp_id, threads))
         blocks.append(Block(block_id, sm, warps))

@@ -5,6 +5,13 @@ state the engine needs to drive it (pending operation, sticky per-op
 scratch, barrier/done flags).  A :class:`Warp` groups threads that advance
 together: when the scheduler picks a warp, every active thread in it
 attempts one operation — the simulator's rendering of SIMT lock-step.
+
+Hot-path bookkeeping: each thread stores its SM (assigned at grid build,
+replacing a per-run key->SM dict) and a back-reference to its warp, and
+each warp maintains an ``n_active`` counter so runnability is an O(1)
+attribute read instead of an O(warp-size) scan per scheduler pick.  The
+engine owns the counter transitions (thread finished, thread parked at a
+barrier, barrier released); ``Warp.runnable`` just reads it.
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ class SimThread:
         "key",
         "ctx",
         "gen",
+        "sm",
+        "warp",
         "op",
         "op_state",
         "to_send",
@@ -28,10 +37,12 @@ class SimThread:
         "sleep_until",
     )
 
-    def __init__(self, key: int, ctx: ThreadContext, gen):
+    def __init__(self, key: int, ctx: ThreadContext, gen, sm: int = 0):
         self.key = key
         self.ctx = ctx
         self.gen = gen
+        self.sm = sm
+        self.warp: "Warp | None" = None
         self.op: tuple | None = None
         self.op_state: dict = {}
         self.to_send: object = None
@@ -49,12 +60,21 @@ class SimThread:
 class Warp:
     """A set of threads that advance together (lock-step)."""
 
-    __slots__ = ("block_id", "warp_id", "threads")
+    __slots__ = ("block_id", "warp_id", "index", "threads", "n_active")
 
     def __init__(self, block_id: int, warp_id: int, threads: list[SimThread]):
         self.block_id = block_id
         self.warp_id = warp_id
+        #: Position in the grid's flat warp list (set by :class:`Grid`);
+        #: the scheduler keeps its runnable list in this order.
+        self.index = 0
         self.threads = threads
+        #: Threads that are neither done nor parked at a barrier.  The
+        #: engine decrements/increments this on the corresponding thread
+        #: transitions; it must always equal ``sum(t.active)``.
+        self.n_active = len(threads)
+        for thread in threads:
+            thread.warp = self
 
     @property
     def finished(self) -> bool:
@@ -62,4 +82,4 @@ class Warp:
 
     @property
     def runnable(self) -> bool:
-        return any(t.active for t in self.threads)
+        return self.n_active > 0

@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from ..apps.base import Application, run_application
+from ..apps.base import Application, ApplicationBatch
 from ..chips.profile import HardwareProfile
 from ..errors import FenceInsertionError
 from ..parallel import (
@@ -68,16 +68,17 @@ def _check_shard(args: tuple) -> CheckShard:
     ``base + i + 1``.  The worker stops at its first error — later runs
     of the shard cannot change the merged verdict (the first erroneous
     index over all shards), so the speculation past a failure in an
-    earlier shard is the only wasted work.
+    earlier shard is the only wasted work.  The shard's runs share one
+    :class:`ApplicationBatch` (setup once; per-seed results identical
+    to standalone runs).
     """
     app, chip, env, fences, seed, base, start, stop = args
+    batch = ApplicationBatch(
+        app, chip, stress_spec=env.strategy, randomise=env.randomise
+    )
     for i in range(start, stop):
-        result = run_application(
-            app,
-            chip,
-            stress_spec=env.strategy,
-            randomise=env.randomise,
-            seed=derive_seed(
+        result = batch.run(
+            derive_seed(
                 seed, "check", app.name, chip.short_name, base + i + 1
             ),
             fence_sites=fences,
@@ -111,6 +112,23 @@ class EmpiricalFenceInserter:
         )
         self.check_runs = 0
         self._check_counter = 0
+        self._batch: ApplicationBatch | None = None
+
+    @property
+    def batch(self) -> ApplicationBatch:
+        """One batch serves the whole serial reduction: the fence set is
+        a per-run parameter of :meth:`ApplicationBatch.run`, so every
+        candidate evaluation reuses the same setup/memory-system/engine.
+        Built lazily — the parallel path never touches it (each
+        ``_check_shard`` worker builds its own)."""
+        if self._batch is None:
+            self._batch = ApplicationBatch(
+                self.app,
+                self.chip,
+                stress_spec=self.environment.strategy,
+                randomise=self.environment.randomise,
+            )
+        return self._batch
 
     # -- the paper's CheckApplication / EmpiricallyStable ---------------
     def check_application(
@@ -129,13 +147,10 @@ class EmpiricalFenceInserter:
         base = self._check_counter
         if self.parallel.serial:
             first: int | None = None
+            batch = self.batch
             for i in range(iterations):
-                result = run_application(
-                    self.app,
-                    self.chip,
-                    stress_spec=self.environment.strategy,
-                    randomise=self.environment.randomise,
-                    seed=derive_seed(
+                result = batch.run(
+                    derive_seed(
                         self.seed, "check", self.app.name,
                         self.chip.short_name, base + i + 1,
                     ),

@@ -1,14 +1,15 @@
-"""Golden-statistics regression tests for the litmus execution core.
+"""Golden-statistics regression tests for both execution cores.
 
-The hot-path overhaul (cached probability tables, BufferedRNG block
-pre-draws, O(1) buffer bookkeeping, memory-system reuse) promises to be
-**behaviour-preserving**: at a fixed seed the optimized core must
-reproduce the pre-refactor core's results bit for bit.  These tests pin
-fixed-seed weak-behaviour counts that were captured from the seed
-(pre-refactor) implementation, so this and future performance PRs cannot
+The hot-path overhauls (litmus: cached probability tables, BufferedRNG
+block pre-draws, O(1) buffer bookkeeping, memory-system reuse; SIMT
+engine: batch application driver, O(1) tick loop, scheduler choice
+emulation) promise to be **behaviour-preserving**: at a fixed seed the
+optimized cores must reproduce the pre-refactor cores' results bit for
+bit.  These tests pin fixed-seed statistics captured from the
+pre-refactor implementations, so this and future performance PRs cannot
 silently shift the model.
 
-Three layers of increasing sensitivity:
+Litmus path, three layers of increasing sensitivity:
 
 * exact weak counts over MP/LB/SB x three chips x {no-str, sys-str} at
   smoke scale (40 executions, seed 7, distance 2 x patch size);
@@ -18,20 +19,39 @@ Three layers of increasing sensitivity:
 * serial vs ``jobs=N`` equality, which additionally exercises the
   repro.parallel global-index seeding contract through the new core.
 
+Application (SIMT engine) path:
+
+* per-run fingerprints — (erroneous, ticks, fences, swaps, bypasses)
+  for every run of four (app, chip, env) cells, captured from the
+  pre-batch engine (every engine tick consumes the scheduler stream, so
+  the tick count alone pins the entire pick/draw history);
+* batch-vs-single parity: ``ApplicationBatch``/``run_application_batch``
+  must equal standalone ``run_application`` results exactly;
+* a campaign cell serially and at ``jobs=N``, against pinned counts.
+
 The values are tied to numpy's stable PCG64 stream (raw outputs,
-``next_double``, the Lemire bounded-integer path and Floyd sampling —
-unchanged since numpy 1.17).
+``next_double``, the Lemire bounded-integer path, Floyd sampling and
+the scalar choice-with-p search — unchanged since numpy 1.17).
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.apps.base import (
+    ApplicationBatch,
+    run_application,
+    run_application_batch,
+)
+from repro.apps.registry import get_application
 from repro.chips import get_chip
 from repro.litmus import LB, MP, SB, get_test, run_litmus
 from repro.litmus.runner import LitmusInstance, _litmus_span
 from repro.parallel import ParallelConfig
+from repro.rng import derive_seed
+from repro.stress.environment import standard_environments
 from repro.stress.strategies import NoStress, TunedStress
+from repro.testing.campaign import run_cell
 from repro.tuning.pipeline import shipped_params
 
 _SEED = 7
@@ -150,6 +170,173 @@ def test_any_span_partition_matches_golden_count():
             for a, b in zip(bounds, bounds[1:])
         )
         assert total == GOLDEN_WEAK[("K20", "MP", "sys-str")]
+
+
+# ----------------------------------------------------------------------
+# application (SIMT engine) path
+# ----------------------------------------------------------------------
+
+#: Per-run (erroneous, ticks, n_fences, n_swaps, n_bypasses) for runs
+#: ``i in range(12)`` at seed ``derive_seed(7, "app-golden", app, chip,
+#: env, i)``, captured from the pre-batch engine (the seed commit of
+#: this table).  Keyed by (app, chip, env, randomise).
+GOLDEN_APP_FINGERPRINTS = {
+    ("cbe-dot", "K20", "sys-str", True): (
+        (0, 286, 0, 0, 0), (0, 330, 0, 0, 1), (0, 379, 0, 0, 0),
+        (0, 287, 0, 0, 0), (1, 410, 0, 0, 1), (0, 429, 0, 0, 0),
+        (0, 364, 0, 0, 0), (0, 334, 0, 0, 0), (0, 372, 0, 0, 0),
+        (0, 288, 0, 0, 0), (0, 417, 0, 0, 0), (0, 286, 0, 0, 0),
+    ),
+    ("sdk-red-nf", "Titan", "sys-str", True): (
+        (0, 90, 0, 0, 0), (0, 104, 0, 0, 0), (0, 82, 0, 0, 0),
+        (0, 100, 0, 0, 0), (0, 94, 0, 0, 0), (0, 83, 0, 0, 0),
+        (0, 103, 0, 0, 0), (0, 95, 0, 0, 0), (0, 84, 0, 0, 0),
+        (0, 85, 0, 0, 0), (0, 99, 0, 0, 0), (0, 122, 0, 0, 0),
+    ),
+    ("tpo-tm", "980", "no-str", False): (
+        (0, 758, 0, 0, 0), (0, 834, 0, 0, 0), (0, 656, 0, 0, 0),
+        (0, 812, 0, 0, 0), (0, 834, 0, 0, 0), (0, 672, 0, 0, 0),
+        (0, 767, 0, 0, 0), (0, 816, 0, 0, 0), (0, 763, 0, 0, 0),
+        (0, 824, 0, 0, 0), (0, 713, 0, 0, 0), (0, 882, 0, 0, 0),
+    ),
+    ("ls-bh", "K20", "sys-str", True): (
+        (0, 594, 44, 0, 2), (0, 721, 52, 0, 8), (1, 709, 60, 0, 3),
+        (0, 789, 52, 0, 3), (0, 749, 44, 0, 3), (0, 686, 52, 0, 5),
+        (0, 681, 44, 0, 2), (0, 762, 60, 0, 1), (0, 708, 52, 0, 1),
+        (0, 958, 44, 0, 1), (1, 908, 44, 0, 1), (0, 776, 44, 0, 6),
+    ),
+}
+
+#: ``run_cell(cbe-dot, K20, sys-str+, runs=16, seed=7)`` on the
+#: pre-batch engine: (errors, timeouts).
+GOLDEN_CAMPAIGN_CELL = (1, 0)
+
+
+def _app_spec(chip_name: str, env: str):
+    if env == "no-str":
+        return NoStress()
+    return TunedStress(shipped_params(chip_name))
+
+
+def _app_fingerprint(run):
+    result = run.result
+    return (
+        int(run.erroneous),
+        result.ticks,
+        result.n_fences,
+        result.n_swaps,
+        result.n_bypasses,
+    )
+
+
+def _golden_seeds(app_name, chip_name, env):
+    return [
+        derive_seed(7, "app-golden", app_name, chip_name, env, i)
+        for i in range(12)
+    ]
+
+
+@pytest.mark.parametrize(
+    "app_name,chip_name,env,randomise",
+    sorted(GOLDEN_APP_FINGERPRINTS),
+    ids=lambda v: str(v),
+)
+def test_app_fingerprints_match_pre_batch_engine(
+    app_name, chip_name, env, randomise
+):
+    """Single runs reproduce the pre-overhaul engine bit for bit.
+
+    Every engine tick consumes the scheduler's stream, so an identical
+    tick count at a fixed seed pins the entire pick/draw history; the
+    fence/swap/bypass tallies additionally pin the memory-system draws.
+    """
+    app = get_application(app_name)
+    chip = get_chip(chip_name)
+    spec = _app_spec(chip_name, env)
+    got = tuple(
+        _app_fingerprint(
+            run_application(
+                app, chip, stress_spec=spec, randomise=randomise, seed=seed
+            )
+        )
+        for seed in _golden_seeds(app_name, chip_name, env)
+    )
+    assert got == GOLDEN_APP_FINGERPRINTS[(app_name, chip_name, env, randomise)]
+
+
+@pytest.mark.parametrize(
+    "app_name,chip_name,env,randomise",
+    sorted(GOLDEN_APP_FINGERPRINTS),
+    ids=lambda v: str(v),
+)
+def test_batch_runs_equal_single_runs(app_name, chip_name, env, randomise):
+    """run_application_batch == [run_application(seed) ...], exactly.
+
+    AppRun and ExecutionResult are frozen dataclasses, so ``==`` compares
+    every field — outcome, ticks and all statistics must agree.
+    """
+    app = get_application(app_name)
+    chip = get_chip(chip_name)
+    spec = _app_spec(chip_name, env)
+    seeds = _golden_seeds(app_name, chip_name, env)
+    golden = GOLDEN_APP_FINGERPRINTS[(app_name, chip_name, env, randomise)]
+    batched = run_application_batch(
+        app, chip, seeds, stress_spec=spec, randomise=randomise
+    )
+    assert tuple(_app_fingerprint(r) for r in batched) == golden
+    singles = [
+        run_application(
+            app, chip, stress_spec=spec, randomise=randomise, seed=seed
+        )
+        for seed in seeds
+    ]
+    assert batched == singles
+
+
+def test_batch_interleaved_fence_sets_stay_identical():
+    """One batch serves many fence sets (the insertion access pattern):
+    interleaving candidate sets must not perturb any run's result."""
+    app = get_application("ls-bh")
+    chip = get_chip("K20")
+    spec = _app_spec("K20", "sys-str")
+    seeds = _golden_seeds("ls-bh", "K20", "sys-str")[:6]
+    fence_sets = [frozenset(), app.base_fences, frozenset(app.sites())]
+    batch = ApplicationBatch(app, chip, stress_spec=spec, randomise=True)
+    interleaved = [
+        batch.run(seed, fence_sites=fence_sets[i % len(fence_sets)])
+        for i, seed in enumerate(seeds)
+    ]
+    for i, seed in enumerate(seeds):
+        single = run_application(
+            app,
+            chip,
+            stress_spec=spec,
+            randomise=True,
+            seed=seed,
+            fence_sites=fence_sets[i % len(fence_sets)],
+        )
+        assert interleaved[i] == single
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_campaign_cell_matches_pre_batch_engine(jobs):
+    """A campaign cell reproduces the pinned counts serially and
+    sharded (the batch driver inside each shard must not change any
+    run's seed stream)."""
+    env = next(
+        e
+        for e in standard_environments(shipped_params("K20"))
+        if e.name == "sys-str+"
+    )
+    cell = run_cell(
+        get_application("cbe-dot"),
+        get_chip("K20"),
+        env,
+        runs=16,
+        seed=7,
+        parallel=ParallelConfig(jobs=jobs),
+    )
+    assert (cell.errors, cell.timeouts) == GOLDEN_CAMPAIGN_CELL
 
 
 def test_all_three_tests_still_distinct():

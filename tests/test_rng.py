@@ -222,3 +222,58 @@ class TestBufferedRNGInEngine:
             ]
 
         assert picks(BufferedRNG(make_rng(21))) == picks(make_rng(21))
+
+    def test_scalar_choice_with_p_is_one_double_plus_search(self):
+        """The randomised scheduler reproduces ``choice(n, p=w)`` from
+        its primitive draw: one next_double searched against the
+        normalised cumulative weights.  numpy must keep that contract
+        for the emulation to stay bit-identical."""
+        for seed in range(40):
+            ref = np.random.default_rng(seed)
+            emu = np.random.default_rng(seed)
+            w = np.random.default_rng(seed + 999).dirichlet(np.full(9, 0.5))
+            for _ in range(5):
+                want = int(ref.choice(9, p=w))
+                cdf = w.cumsum()
+                cdf /= cdf[-1]
+                got = int(cdf.searchsorted(emu.random(), side="right"))
+                assert got == want
+            # both streams must end in the identical state
+            assert ref.random() == emu.random()
+
+    def test_randomised_scheduler_matches_choice_reference(self):
+        """Under thread randomisation the scheduler's pick stream must
+        equal the original ``dirichlet`` + ``choice(p=weights)``
+        implementation, for BufferedRNG and raw generators alike."""
+        from repro.gpu.scheduler import _RESHUFFLE_PERIOD, WarpScheduler
+        from repro.gpu.warp import Warp
+
+        class _ActiveThread:
+            active = True
+            done = False
+
+        def sched_picks(rng):
+            warps = [Warp(0, i, [_ActiveThread()]) for i in range(4)]
+            sched = WarpScheduler(warps, 2, rng, randomise=True)
+            return [
+                None if (w := sched.pick()) is None else w.warp_id
+                for _ in range(300)
+            ]
+
+        def reference_picks(gen):
+            n = 6  # 4 warps + 2 stress placeholders
+            weights = gen.dirichlet(np.full(n, 0.5))
+            ticks = 0
+            out = []
+            for _ in range(300):
+                ticks += 1
+                if ticks >= _RESHUFFLE_PERIOD:
+                    weights = gen.dirichlet(np.full(n, 0.5))
+                    ticks = 0
+                idx = int(gen.choice(n, p=weights))
+                out.append(idx if idx < 4 else None)
+            return out
+
+        want = reference_picks(make_rng(33))
+        assert sched_picks(make_rng(33)) == want
+        assert sched_picks(BufferedRNG(make_rng(33))) == want
