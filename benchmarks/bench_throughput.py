@@ -5,8 +5,9 @@ executions (Sec. 3) — so single-worker executions/second is the number
 every tuning grid, campaign cell and fence-insertion check multiplies.
 This benchmark measures it for the canonical hot workload (K20, MP at
 distance 2 x patch size, tuned ``sys-str`` stressing, fixed seed) plus a
-no-stress variant and a sharded run, and deposits the measurements into
-``BENCH_throughput.json`` via the ``bench_json`` emitter fixture::
+no-stress variant, a sharded run and a per-test sweep of the full litmus
+family, and deposits the measurements into ``BENCH_throughput.json`` via
+the ``bench_json`` emitter fixture::
 
     REPRO_BENCH_JSON=BENCH_throughput.json \
         pytest benchmarks/bench_throughput.py -s
@@ -32,11 +33,16 @@ import os
 import time
 
 from repro.chips import get_chip
-from repro.litmus import MP, run_litmus
+from repro.litmus import ALL_TESTS, MP, run_litmus
 from repro.litmus.runner import LitmusInstance, _litmus_span
 from repro.parallel import ParallelConfig
 from repro.stress.strategies import NoStress, TunedStress
 from repro.tuning.pipeline import shipped_params
+
+#: Executions per registry test for the family-rate record.
+_FAMILY_EXECUTIONS = int(
+    os.environ.get("REPRO_BENCH_FAMILY_EXECUTIONS", "150")
+)
 
 #: Executions per timed run (override for quick smoke: the golden-count
 #: cross-check only applies at the default size).
@@ -117,6 +123,48 @@ def test_serial_no_str_throughput(bench_json):
         "exec_per_sec": round(rate, 1),
     }
     print(f"\nserial no-str: {rate:,.0f} executions/s (weak={weak})")
+
+
+def test_family_litmus_rates(bench_json):
+    """Per-test weak rates for the full litmus family (K20, sys-str,
+    d = 2 x patch size, fixed seed) — the expanded-registry analogue of
+    the golden weak counts.  The record makes regressions in any family
+    member visible in the merged BENCH_throughput.json artifact, and
+    doubles as a whole-family throughput measurement."""
+    chip = get_chip("K20")
+    spec = TunedStress(shipped_params("K20"))
+    d = 2 * chip.patch_size
+    start = time.perf_counter()
+    family = {}
+    total = 0
+    for test in ALL_TESTS:
+        result = run_litmus(
+            chip, test, d, spec, _FAMILY_EXECUTIONS, seed=_SEED
+        )
+        total += result.executions
+        family[test.name] = {
+            "threads": test.n_threads,
+            "weak": result.weak,
+            "executions": result.executions,
+            "rate": round(result.rate, 4),
+        }
+    elapsed = time.perf_counter() - start
+    bench_json["family_sys_str"] = {
+        "chip": "K20",
+        "distance": d,
+        "seed": _SEED,
+        "exec_per_sec": round(total / elapsed, 1),
+        "tests": family,
+    }
+    weak_tests = [n for n, r in family.items() if r["weak"]]
+    if _FAMILY_EXECUTIONS == 150:  # golden tie-in at the default size
+        assert "MP" in weak_tests
+        assert family["CoRR"]["weak"] == 0 and family["CoWW"]["weak"] == 0
+    print(
+        f"\nfamily sys-str: {len(family)} tests, "
+        f"{total / elapsed:,.0f} executions/s, weak in "
+        f"{len(weak_tests)}/{len(family)} tests"
+    )
 
 
 def test_sharded_sys_str_throughput(bench_json, bench_jobs):

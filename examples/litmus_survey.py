@@ -1,10 +1,15 @@
 """Litmus survey: weak behaviours across chips and distances (Sec. 3).
 
-Runs the MP, LB and SB litmus tests on several chips, natively and under
-tuned stressing, across a range of distances between the communication
-locations — reproducing the qualitative structure of the paper's Fig. 3:
-no weak behaviour below the critical patch size, strong rates above it,
-store-only stressing useless.
+Runs every test in the litmus registry — the paper's MP/LB/SB triple
+plus fenced variants, coherence tests and 3/4-thread idioms — on
+several chips, natively and under tuned stressing, across a range of
+distances between the communication locations.  The registry is
+enumerated dynamically, so tests added to ``repro.litmus.tests`` appear
+here without changes.  Reproduces the qualitative structure of the
+paper's Fig. 3 (no weak behaviour below the critical patch size, strong
+rates above it, store-only stressing useless) and extends it: fenced
+variants show strictly lower rates than their bases, coherence tests
+stay silent everywhere.
 
 Run with::
 
@@ -16,7 +21,7 @@ from repro.litmus import ALL_TESTS
 from repro.stress.strategies import FixedLocationStress, NoStress
 from repro.stress.sequences import format_sequence
 
-EXECUTIONS = 150
+EXECUTIONS = 80
 CHIPS = ("Titan", "C2075", "980")
 
 
@@ -29,7 +34,7 @@ def main() -> None:
         stores = FixedLocationStress((0, 2 * patch), ("st", "st", "st"))
         print(f"=== {chip.name} (critical patch size {patch}, "
               f"sigma = {format_sequence(seq)}) ===")
-        header = f"{'test':>4s} {'d':>4s} {'native':>8s} " \
+        header = f"{'test':>6s} {'d':>4s} {'native':>8s} " \
                  f"{'tuned':>8s} {'st3':>8s}"
         print(header)
         for test in ALL_TESTS:
@@ -40,14 +45,16 @@ def main() -> None:
                                    EXECUTIONS, seed=1)
                 st3 = run_litmus(chip, test, d, stores,
                                  EXECUTIONS, seed=1)
-                print(f"{test.name:>4s} {d:>4d} "
+                print(f"{test.name:>6s} {d:>4d} "
                       f"{native.weak:>8d} {tuned.weak:>8d} "
                       f"{st3.weak:>8d}")
         print()
     print(f"(counts out of {EXECUTIONS} executions; d is the distance "
           f"in words between the\ncommunication locations — note the "
-          f"silence below the patch size, and the\n980's small MP leak "
-          f"at d = 0.)")
+          f"silence below the patch size, the fenced\nvariants' "
+          f"suppression, and the always-silent coherence tests.  The "
+          f"980's rare\nMP leak at d = 0 needs larger samples; see "
+          f"tests/test_litmus.py.)")
 
 
 if __name__ == "__main__":

@@ -6,7 +6,8 @@ parameterised weak memory model:
 
 * :mod:`repro.chips` — the seven studied GPUs as hidden-silicon profiles;
 * :mod:`repro.gpu` — the SIMT execution engine and weak memory subsystem;
-* :mod:`repro.litmus` — the MP/LB/SB litmus tests and their fast runner;
+* :mod:`repro.litmus` — the litmus IR, the MP/LB/SB-rooted test family
+  and its two execution backends (direct fast path, compiled SIMT);
 * :mod:`repro.stress` — stressing strategies and testing environments;
 * :mod:`repro.tuning` — the per-chip tuning pipeline (Sec. 3);
 * :mod:`repro.apps` — the ten application case studies (Sec. 4, Tab. 4);
@@ -44,8 +45,17 @@ from .gpu.engine import Engine, ExecutionResult, Outcome
 from .gpu.memory import MemorySystem
 from .gpu.pressure import StressField
 from .hardening.insertion import empirical_fence_insertion
+from .litmus.compile import backend_parity, run_litmus_compiled
 from .litmus.runner import run_litmus
-from .litmus.tests import LB, MP, SB, get_test
+from .litmus.tests import (
+    ALL_TESTS,
+    LB,
+    MP,
+    SB,
+    TUNING_TESTS,
+    LitmusTest,
+    get_test,
+)
 from .scale import DEFAULT, PAPER, SMOKE, Scale, get_scale
 from .stress.config import StressConfig
 from .stress.environment import TestingEnvironment, standard_environments
@@ -81,9 +91,14 @@ __all__ = [
     "StressField",
     "empirical_fence_insertion",
     "run_litmus",
+    "run_litmus_compiled",
+    "backend_parity",
     "MP",
     "LB",
     "SB",
+    "ALL_TESTS",
+    "TUNING_TESTS",
+    "LitmusTest",
     "get_test",
     "Scale",
     "SMOKE",

@@ -8,7 +8,7 @@ Subcommands:
 * ``litmus`` — run one litmus test under a stressing configuration;
 * ``test-app`` — run one application under a testing environment;
 * ``harden`` — empirical fence insertion for one application/chip;
-* ``chips`` / ``apps`` — list the registries.
+* ``chips`` / ``apps`` / ``tests`` — list the registries.
 
 Every run-loop subcommand accepts ``--jobs N`` to shard its work across
 worker processes (``0`` = one per CPU); results are identical at any
@@ -25,8 +25,9 @@ from .apps.registry import all_applications
 from .chips.registry import CHIP_ORDER, all_chips, get_chip
 from .errors import ReproError
 from .hardening.insertion import empirical_fence_insertion
+from .litmus.compile import run_litmus_compiled
 from .litmus.runner import run_litmus
-from .litmus.tests import ALL_TESTS, get_test
+from .litmus.tests import ALL_TESTS, get_test, test_names
 from .parallel import ParallelConfig
 from .reporting.experiments import EXPERIMENTS, run_experiment
 from .scale import get_scale
@@ -36,10 +37,23 @@ from .stress.strategies import FixedLocationStress, NoStress
 from .testing.campaign import run_cell
 from .tuning.pipeline import shipped_params
 
-_TEST_NAMES = tuple(t.name for t in ALL_TESTS)
+#: Canonical litmus-test names, straight from the registry (the CLI
+#: never hardcodes the family; growing the registry grows the CLI).
+_TEST_NAMES = test_names()
 #: Chips selectable on the command line: the studied parts plus the
 #: sequentially consistent reference chip.
 _CHIP_NAMES = CHIP_ORDER + ("sc-ref",)
+
+
+def _test_arg(value: str) -> str:
+    """argparse type for litmus-test names: case-insensitive, canonical."""
+    try:
+        return get_test(value).name
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"unknown litmus test {value!r} "
+            f"(choose from {', '.join(_TEST_NAMES)})"
+        ) from None
 
 
 def _jobs_arg(value: str) -> int:
@@ -97,10 +111,20 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 )
                 return 2
             kwargs["chip"] = args.chips[0]
-        elif args.id in ("fig3", "table2", "fig4", "table5", "fig5"):
+        elif args.id in ("fig3", "table2", "fig4", "table5", "fig5",
+                         "survey"):
             kwargs["chips"] = tuple(args.chips)
     if args.environments and args.id == "table5":
         kwargs["environments"] = tuple(args.environments)
+    if args.tests:
+        if args.id != "survey":
+            print(
+                f"gpu-wmm: error: --tests only applies to the survey "
+                f"experiment, not {args.id}",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["tests"] = tuple(args.tests)
     try:
         text = run_experiment(
             args.id,
@@ -133,6 +157,12 @@ def _cmd_apps(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tests(_args: argparse.Namespace) -> int:
+    for test in ALL_TESTS:
+        print(f"{test.name:6s} {test.n_threads}T  {test.description}")
+    return 0
+
+
 def _cmd_litmus(args: argparse.Namespace) -> int:
     chip = get_chip(args.chip)
     test = get_test(args.test)
@@ -142,7 +172,8 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
         spec = FixedLocationStress(locations, sequence)
     else:
         spec = NoStress()
-    result = run_litmus(
+    runner = run_litmus if args.backend == "direct" else run_litmus_compiled
+    result = runner(
         chip,
         test,
         args.distance,
@@ -153,8 +184,8 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
         parallel=_parallel(args),
     )
     print(
-        f"{test.name} d={args.distance} on {chip.short_name}: "
-        f"{result.weak}/{result.executions} weak "
+        f"{test.name} d={args.distance} on {chip.short_name} "
+        f"[{args.backend}]: {result.weak}/{result.executions} weak "
         f"({100 * result.rate:.1f}%)"
     )
     return 0
@@ -219,7 +250,12 @@ def _epilog() -> str:
             "  at any job count; only wall-clock time changes.",
             "",
             "examples:",
+            "  gpu-wmm tests                  # litmus registry",
             "  gpu-wmm litmus MP --chip K20 --stress-at 0,64",
+            "  gpu-wmm litmus IRIW --chip K20 --stress-at 0,64 \\",
+            "      --backend engine           # compiled SIMT path",
+            "  gpu-wmm experiment survey --scale smoke --chips K20 \\",
+            "      --tests MP MP-FF IRIW",
             "  gpu-wmm experiment table5 --scale smoke --jobs 4 \\",
             "      --chips K20 --environments no-str- sys-str+",
             "  gpu-wmm harden cbe-dot --chip Titan --jobs 0",
@@ -271,6 +307,17 @@ def build_parser() -> argparse.ArgumentParser:
             f"(choices: {', '.join(ENVIRONMENT_ORDER)})"
         ),
     )
+    p.add_argument(
+        "--tests",
+        nargs="+",
+        type=_test_arg,
+        default=None,
+        metavar="TEST",
+        help=(
+            "restrict the survey experiment to these litmus tests "
+            f"(choices: {', '.join(_TEST_NAMES)})"
+        ),
+    )
     _add_common(p)
     p.set_defaults(fn=_cmd_experiment)
 
@@ -281,13 +328,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_apps)
 
     p = sub.add_parser(
+        "tests",
+        help="list the litmus-test registry with descriptions",
+    )
+    p.set_defaults(fn=_cmd_tests)
+
+    p = sub.add_parser(
         "litmus", help="run a litmus test under a stressing configuration"
     )
     p.add_argument(
         "test",
-        type=str.upper,
-        choices=_TEST_NAMES,
-        help=f"litmus test ({', '.join(_TEST_NAMES)})",
+        type=_test_arg,
+        help=(
+            "litmus test, case-insensitive "
+            f"({', '.join(_TEST_NAMES)})"
+        ),
     )
     p.add_argument(
         "--chip",
@@ -317,6 +372,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--randomise",
         action="store_true",
         help="randomise SM placement and issue rates per execution",
+    )
+    p.add_argument(
+        "--backend",
+        default="direct",
+        choices=("direct", "engine"),
+        help=(
+            "execution backend: the direct memory-system fast path, or "
+            "the test compiled to a SIMT-engine kernel (default: direct)"
+        ),
     )
     _add_common(p)
     p.set_defaults(fn=_cmd_litmus)

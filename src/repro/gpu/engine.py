@@ -40,8 +40,10 @@ from .events import (
     FENCE_DEVICE,
     OP_BARRIER,
     OP_FENCE,
+    OP_ISSUE,
     OP_LOAD,
     OP_NOOP,
+    OP_POLL,
     OP_RMW,
     OP_STORE,
     STALL,
@@ -303,6 +305,18 @@ class Engine:
             return 0, 0, True
         return 0, 0, False
 
+    def _op_issue(self, thread: SimThread, op: tuple) -> tuple[int, int, bool]:
+        handle = self.memory.issue_load(thread.sm, thread.key, op[1])
+        self._complete(thread, handle)
+        return 0, 0, True
+
+    def _op_poll(self, thread: SimThread, op: tuple) -> tuple[int, int, bool]:
+        value = self.memory.poll_load(op[1])
+        if value is not STALL:
+            self._complete(thread, value)
+            return 0, 0, True
+        return 0, 0, False
+
     def _op_fence(self, thread: SimThread, op: tuple) -> tuple[int, int, bool]:
         mem = self.memory
         op_state = thread.op_state
@@ -396,4 +410,6 @@ _OP_HANDLERS = {
     OP_FENCE: Engine._op_fence,
     OP_BARRIER: Engine._op_barrier,
     OP_NOOP: Engine._op_noop,
+    OP_ISSUE: Engine._op_issue,
+    OP_POLL: Engine._op_poll,
 }

@@ -14,6 +14,14 @@ Formats::
     (OP_FENCE, level)                -> level is "device" or "block"
     (OP_BARRIER,)                    -> block-wide barrier
     (OP_NOOP,)                       -> one cycle of compute
+    (OP_ISSUE, addr)                 -> engine sends a DeferredLoad
+                                        handle (issue/resolve split)
+    (OP_POLL,  handle)               -> engine sends the value once the
+                                        deferred load has resolved
+
+The issue/poll pair is how compiled litmus kernels observe LB-shaped
+reordering on the engine backend: real litmus tests only inspect their
+registers at the end, so their loads may resolve late.
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ OP_RMW = "rmw"
 OP_FENCE = "fence"
 OP_BARRIER = "bar"
 OP_NOOP = "noop"
+OP_ISSUE = "issue"
+OP_POLL = "poll"
 
 FENCE_DEVICE = "device"
 FENCE_BLOCK = "block"

@@ -33,8 +33,10 @@ from .events import (
     FENCE_DEVICE,
     OP_BARRIER,
     OP_FENCE,
+    OP_ISSUE,
     OP_LOAD,
     OP_NOOP,
+    OP_POLL,
     OP_RMW,
     OP_STORE,
 )
@@ -118,6 +120,22 @@ class ThreadContext:
         yield (OP_STORE, buf.addr(idx), val)
         if site is not None and site in self.fence_sites:
             yield (OP_FENCE, FENCE_DEVICE)
+
+    def issue_load(self, buf: Buffer, idx: int):
+        """Issue a deferred load; returns a handle for ``await_load``.
+
+        The issue/resolve split mirrors how generated litmus kernels
+        only read their registers at the very end of the test, so the
+        load may resolve after program-order-later operations — the
+        LB-shaped reordering (see :class:`repro.gpu.memory.DeferredLoad`).
+        """
+        handle = yield (OP_ISSUE, buf.addr(idx))
+        return handle
+
+    def await_load(self, handle):
+        """Block until a deferred load resolves; returns its value."""
+        value = yield (OP_POLL, handle)
+        return value
 
     def atomic_cas(
         self, buf: Buffer, idx: int, compare, val, site: str | None = None

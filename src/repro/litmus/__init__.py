@@ -1,13 +1,51 @@
-"""Litmus tests and their runner (paper Sec. 2 and Sec. 3.1).
+"""Litmus tests, their IR and the two execution backends.
 
 The paper tunes its memory stress against the three classic weak-memory
 litmus tests — message passing (MP), load buffering (LB) and store
-buffering (SB) — configured with the two communication locations in
-global memory and the two communicating threads in distinct blocks.
+buffering (SB) — configured with the communication locations in global
+memory and the communicating threads in distinct blocks (Sec. 2, 3.1).
+This package generalises that triple into a declarative IR
+(:mod:`repro.litmus.ir`): N-thread programs of ``st``/``ld``/``fence``/
+``rmw`` instructions with a declarative forbidden outcome, a registry of
+fenced variants, coherence tests and 3/4-thread idioms
+(:mod:`repro.litmus.tests`), a fast direct runner
+(:mod:`repro.litmus.runner`), a compiled SIMT-engine backend
+(:mod:`repro.litmus.compile`) and a brute-force SC oracle
+(:mod:`repro.litmus.sc`).
 """
 
-from .tests import LB, MP, SB, ALL_TESTS, LitmusTest, get_test
+from .ir import (
+    And,
+    LocEq,
+    Or,
+    RegEq,
+    evaluate,
+    fence,
+    format_condition,
+    ld,
+    rmw,
+    st,
+)
+from .tests import (
+    ALL_TESTS,
+    FENCED_VARIANTS,
+    LB,
+    MP,
+    SB,
+    TUNING_TESTS,
+    LitmusTest,
+    get_test,
+    test_names,
+)
 from .runner import LitmusInstance, run_litmus
+from .compile import (
+    CompiledLitmus,
+    ParityReport,
+    backend_parity,
+    compile_test,
+    run_litmus_compiled,
+)
+from .sc import forbidden_sc_reachable, sc_outcomes
 from .results import LitmusResult, Tally
 
 __all__ = [
@@ -15,10 +53,30 @@ __all__ = [
     "LB",
     "SB",
     "ALL_TESTS",
+    "TUNING_TESTS",
+    "FENCED_VARIANTS",
     "LitmusTest",
     "get_test",
+    "test_names",
+    "And",
+    "Or",
+    "RegEq",
+    "LocEq",
+    "evaluate",
+    "format_condition",
+    "st",
+    "ld",
+    "fence",
+    "rmw",
     "LitmusInstance",
     "run_litmus",
+    "CompiledLitmus",
+    "compile_test",
+    "run_litmus_compiled",
+    "ParityReport",
+    "backend_parity",
+    "forbidden_sc_reachable",
+    "sc_outcomes",
     "LitmusResult",
     "Tally",
 ]

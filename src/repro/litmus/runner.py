@@ -1,27 +1,35 @@
-"""Fast litmus-test runner.
+"""Fast litmus-test runner (the *direct* execution backend).
 
-Litmus tests are two scripted threads of a handful of memory operations,
-so they bypass the full SIMT engine and drive the
+Litmus tests are a handful of scripted threads of a few memory
+operations each, so they bypass the full SIMT engine and drive the
 :class:`~repro.gpu.memory.MemorySystem` directly — the memory semantics
-(and hence the observable weak behaviours) are identical, but millions of
-executions become feasible, which the tuning pipeline needs (the paper
-ran nearly half a billion).
+(and hence the observable weak behaviours) are identical, but millions
+of executions become feasible, which the tuning pipeline needs (the
+paper ran nearly half a billion).  The same IR also lowers onto the
+engine (:mod:`repro.litmus.compile`); the two backends are compared by
+the cross-backend parity tests.
 
-Loads use the deferred issue/resolve API: a litmus test only inspects its
-registers after the run, exactly like the paper's generated CUDA tests,
-which is what allows LB-shaped reordering to be observed.
+Loads use the deferred issue/resolve API: a litmus test only inspects
+its registers after the run, exactly like the paper's generated CUDA
+tests, which is what allows LB-shaped reordering to be observed.
+Fences map to the memory system's ``fence_begin``/``fence_done``
+priority-drain protocol (the same calls the engine's fence op makes),
+and ``rmw`` goes through the atomic pipeline.
 
-The two threads are placed on distinct SMs (the paper configures the
-communicating threads in distinct blocks).
+The N threads are placed on N distinct SMs (the paper configures the
+communicating threads in distinct blocks); chips model at least 8 SMs,
+comfortably above the 4-thread idioms (IRIW).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import NamedTuple
 
 from ..chips.profile import HardwareProfile
 from ..gpu.addresses import AddressSpace
+from ..gpu.events import STALL
 from ..gpu.memory import MemorySystem
 from ..gpu.pressure import StressField
 from ..parallel import (
@@ -43,7 +51,7 @@ _EXEC_P = 0.7
 #: Tick budgets for the issue and drain phases of one round.
 _ISSUE_TICKS = 400
 _DRAIN_TICKS = 400
-#: Maximum random start stagger between the two threads, in ticks.
+#: Maximum random start stagger between the threads, in ticks.
 _MAX_START_DELAY = 24
 #: Litmus rounds per execution.  A real GPU litmus kernel launch tests
 #: many independent instances at once; an execution is counted weak when
@@ -55,15 +63,15 @@ _ROUNDS = 8
 class LitmusInstance:
     """A litmus test at a concrete distance, as laid out in memory.
 
-    ``x`` sits at the base of the communication area; ``y`` sits
-    ``max(distance, 1)`` words above it (distance 0 means contiguous
-    locations, per the paper's T_d notation).
+    Location 0 (``x``) sits at the base of the communication area;
+    location ``i`` sits ``i * max(distance, 1)`` words above it
+    (distance 0 means contiguous locations, per the paper's T_d
+    notation, generalised to tests with three or more locations).
     """
 
     test: LitmusTest
     distance: int
-    x_addr: int
-    y_addr: int
+    comm_base: int
     scratch_base: int
     scratch_size: int
 
@@ -86,75 +94,150 @@ class LitmusInstance:
             raise ValueError("distance must be non-negative")
         period = profile.patch_size * profile.n_channels
         space = AddressSpace()
-        comm = space.alloc("comm", max(_COMM_SPAN, distance + 2), align=period)
+        span = (len(test.locations) - 1) * max(distance, 1) + 2
+        comm = space.alloc("comm", max(_COMM_SPAN, span), align=period)
         scratch = space.alloc("scratch", scratch_size, align=period)
         return cls(
             test=test,
             distance=distance,
-            x_addr=comm.base,
-            y_addr=comm.base + max(distance, 1),
+            comm_base=comm.base,
             scratch_base=scratch.base,
             scratch_size=scratch.size,
         )
 
+    @property
+    def x_addr(self) -> int:
+        return self.comm_base
+
+    @property
+    def y_addr(self) -> int:
+        return self.comm_base + max(self.distance, 1)
+
     def addr(self, loc: str) -> int:
-        return self.x_addr if loc == "x" else self.y_addr
+        """Address of location ``loc`` under this instance's layout."""
+        index = self.test.locations.index(loc)
+        return self.comm_base + index * max(self.distance, 1)
+
+    def loc_addrs(self) -> tuple[int, ...]:
+        """Addresses of every location, in ``test.locations`` order."""
+        step = max(self.distance, 1)
+        return tuple(
+            self.comm_base + i * step
+            for i in range(len(self.test.locations))
+        )
 
 
-@lru_cache(maxsize=4096)
-def _resolved_programs(instance: LitmusInstance) -> tuple[tuple, tuple]:
-    """The two thread programs with ``x``/``y`` resolved to addresses.
+def _resolved_programs(instance: LitmusInstance) -> tuple[tuple, ...]:
+    """The thread programs with location names resolved to addresses.
 
-    The instance is immutable, so the per-operation ``instance.addr``
-    lookups of the original inner loop are paid once per instance
-    instead of once per issued operation.
+    Called once per (cached) round plan, so the per-operation
+    ``instance.addr`` lookups of the original inner loop are paid once
+    per instance instead of once per issued operation.
     """
 
     def resolve(program):
-        return tuple(
-            ("st", instance.addr(ins[1]), ins[2])
-            if ins[0] == "st"
-            else ("ld", instance.addr(ins[1]), ins[2])
-            for ins in program
-        )
+        out = []
+        for ins in program:
+            kind = ins[0]
+            if kind == "st":
+                out.append(("st", instance.addr(ins[1]), ins[2]))
+            elif kind == "ld":
+                out.append(("ld", instance.addr(ins[1]), ins[2]))
+            elif kind == "rmw":
+                out.append(("rmw", instance.addr(ins[1]), ins[2], ins[3]))
+            else:  # fence — no address operand
+                out.append(ins)
+        return tuple(out)
 
-    return resolve(instance.test.thread0), resolve(instance.test.thread1)
+    return tuple(resolve(program) for program in instance.test.threads)
 
 
-def _one_round(
-    instance: LitmusInstance,
+def _exch(value):
+    """The atomic-exchange update function for an rmw instruction."""
+    return lambda _cur: value
+
+
+def _is_two_thread_ldst(programs: tuple[tuple, ...]) -> bool:
+    """True for the plain two-thread ld/st shape (MP/LB/SB, R, S, 2+2W
+    and kin) — the tuning pipeline's hot workload, served by the
+    unrolled fast path."""
+    return len(programs) == 2 and all(
+        ins[0] == "st" or ins[0] == "ld"
+        for program in programs
+        for ins in program
+    )
+
+
+class _RoundPlan(NamedTuple):
+    """Everything a round needs, precomputed once per instance:
+    address-resolved programs, location addresses, the final-value
+    queries of the condition, the compiled forbidden-outcome predicate
+    and the fast-path eligibility flag."""
+
+    programs: tuple
+    addrs: tuple
+    final_locs: tuple  # ((location name, address), ...)
+    pred: object  # f(regs, final) -> bool
+    fast2: bool
+
+
+_EMPTY_FINAL: dict = {}
+
+
+@lru_cache(maxsize=4096)
+def _round_plan(instance: LitmusInstance) -> _RoundPlan:
+    programs = _resolved_programs(instance)
+    addrs = instance.loc_addrs()
+    test = instance.test
+    loc_index = test.locations.index
+    final_locs = tuple(
+        (loc, addrs[loc_index(loc)]) for loc in test.condition_locations
+    )
+    return _RoundPlan(
+        programs=programs,
+        addrs=addrs,
+        final_locs=final_locs,
+        pred=test._predicate,
+        fast2=_is_two_thread_ldst(programs),
+    )
+
+
+def _finish_round(plan: _RoundPlan, mem, regs, names, handles) -> bool:
+    """Collect registers (and final locations, if the condition needs
+    them) and evaluate the compiled forbidden-outcome predicate."""
+    for name, handle in zip(names, handles):
+        regs[name] = handle.value
+    final = _EMPTY_FINAL
+    if plan.final_locs:
+        get = mem.mem.get
+        final = {loc: get(addr, 0) for loc, addr in plan.final_locs}
+    return bool(plan.pred(regs, final))
+
+
+def _one_round_ldst2(
+    plan: _RoundPlan,
     mem: MemorySystem,
     sms,
-    exec_p: tuple[float, float],
+    exec_p,
     rng,
-    programs: tuple[tuple, tuple] | None = None,
 ) -> bool:
-    """Run one litmus round; returns True on the weak outcome.
+    """Unrolled two-thread ld/st round — the seed repo's hot loop.
 
-    The loop body is the hottest code in the repository: threads are
-    unrolled, the memory-system step is inlined, and the exec-gate
-    rolls are taken straight from the BufferedRNG pre-draw block
-    (``rng`` must be a :class:`~repro.rng.BufferedRNG`).  It consumes
-    the random stream in exactly the original order: thread-0 gate (and
-    operation), thread-1 gate (and operation), then the memory-system
-    step — see the golden-statistics tests.
+    Draw-for-draw identical to the general :func:`_one_round` on this
+    program shape (two start-delay draws, then per-tick gates in thread
+    order, then the inlined memory step); kept unrolled because the
+    tuning pipeline runs this shape hundreds of millions of times (see
+    ``benchmarks/bench_throughput.py``).
     """
-    mem.mem[instance.x_addr] = 0
-    mem.mem[instance.y_addr] = 0
-    if programs is None:
-        programs = _resolved_programs(instance)
-    prog0, prog1 = programs
+    mset = mem.mem
+    for a in plan.addrs:
+        mset[a] = 0
+    prog0, prog1 = plan.programs
     n0 = len(prog0)
     n1 = len(prog1)
     sm0, sm1 = sms
     p0, p1 = exec_p
 
-    # Random start stagger: on hardware the two threads rarely hit their
-    # critical instructions at the same instant; the stagger is what
-    # lets one thread's reads land inside the other's reorder window.
-    # (Two bounded draws straight off the pre-draw block consume the
-    # bit stream identically to the original ``integers(0, d, size=2)``
-    # — numpy's bounded generation is per-element either way.)
     delay0 = rng._lemire32(_MAX_START_DELAY)
     delay1 = rng._lemire32(_MAX_START_DELAY)
     pc0 = 0
@@ -163,9 +246,6 @@ def _one_round(
     handles: list = []
     write = mem.write
     issue = mem.issue_load
-    # Until the earlier thread's delay expires nothing can issue, no
-    # probability is rolled, and the (empty) memory system's step only
-    # advances its clock — so jump straight there.
     start_tick = delay0 if delay0 < delay1 else delay1
     if start_tick:
         mem.tick += start_tick
@@ -221,9 +301,110 @@ def _one_round(
 
     mem.drain_until(handles, _DRAIN_TICKS)
     mem.flush_all()
+    return _finish_round(plan, mem, {}, names, handles)
 
-    regs = {name: handle.value for name, handle in zip(names, handles)}
-    return bool(instance.test.weak(regs))
+
+def _one_round(
+    plan: _RoundPlan,
+    mem: MemorySystem,
+    sms,
+    exec_p,
+    rng,
+) -> bool:
+    """Run one litmus round; returns True on the forbidden outcome.
+
+    The general N-thread interpreter: handles any thread count and the
+    full instruction set (``st``/``ld``/``fence``/``rmw``).  It consumes
+    the random stream in the same order as the unrolled fast path on
+    two-thread ld/st programs — one start-delay draw per thread, then
+    per-tick exec-gate rolls in thread order, then the inlined
+    memory-system step (``rng`` must be a
+    :class:`~repro.rng.BufferedRNG`; see the golden-statistics tests).
+    """
+    mset = mem.mem
+    for a in plan.addrs:
+        mset[a] = 0
+    programs = plan.programs
+    n_threads = len(programs)
+    lens = [len(p) for p in programs]
+    pcs = [0] * n_threads
+    fencing = [False] * n_threads
+    op_states: list[dict] = [{} for _ in range(n_threads)]
+    regs: dict = {}
+    names: list[str] = []
+    handles: list = []
+    write = mem.write
+    issue = mem.issue_load
+
+    # Random start stagger: on hardware the threads rarely hit their
+    # critical instructions at the same instant; the stagger is what
+    # lets one thread's reads land inside another's reorder window.
+    # (Bounded draws straight off the pre-draw block consume the bit
+    # stream identically to the original ``integers(0, d, size=n)`` —
+    # numpy's bounded generation is per-element either way.)
+    delays = [rng._lemire32(_MAX_START_DELAY) for _ in range(n_threads)]
+    remaining = n_threads
+    # Until the earliest thread's delay expires nothing can issue, no
+    # probability is rolled, and the (empty) memory system's step only
+    # advances its clock — so jump straight there.
+    start_tick = min(delays)
+    if start_tick:
+        mem.tick += start_tick
+    for tick in range(start_tick, _ISSUE_TICKS):
+        if not remaining:
+            break
+        for t in range(n_threads):
+            pc = pcs[t]
+            if pc >= lens[t] or tick < delays[t]:
+                continue
+            i = rng._i
+            if i < rng._n:
+                rng._i = i + 1
+                roll = rng._dbuf[i]
+            else:
+                roll = rng.random()
+            if roll >= exec_p[t]:
+                continue
+            ins = programs[t][pc]
+            kind = ins[0]
+            if kind == "st":
+                if write(sms[t], t, ins[1], ins[2]):
+                    pcs[t] = pc + 1
+            elif kind == "ld":
+                names.append(ins[2])
+                handles.append(issue(sms[t], t, ins[1]))
+                pcs[t] = pc + 1
+            elif kind == "fence":
+                if not fencing[t]:
+                    mem.fence_begin(t)
+                    fencing[t] = True
+                if mem.fence_done(sms[t], t):
+                    fencing[t] = False
+                    pcs[t] = pc + 1
+            else:  # rmw — atomic exchange through the atomic pipeline
+                state = op_states[t]
+                old = mem.rmw(sms[t], t, ins[1], _exch(ins[3]), state)
+                if old is not STALL:
+                    regs[ins[2]] = old
+                    state.clear()
+                    pcs[t] = pc + 1
+            if pcs[t] >= lens[t]:
+                remaining -= 1
+        # The general interpreter serves fenced/rmw/N-thread tests, not
+        # the tuning hot loop, so it calls the real step rather than
+        # adding another hand-inlined copy (cf. _one_round_ldst2).
+        mem.step()
+
+    mem.drain_until(handles, _DRAIN_TICKS)
+    mem.flush_all()
+    # A fence still open when the issue window closed is satisfied by
+    # the full drain; retire it so the fencing set does not leak into
+    # the next round on the reused memory system.
+    for t in range(n_threads):
+        if fencing[t]:
+            mem.fence_done(sms[t], t)
+
+    return _finish_round(plan, mem, regs, names, handles)
 
 
 def _one_execution(
@@ -234,7 +415,7 @@ def _one_execution(
     randomise: bool,
     rounds: int = _ROUNDS,
     mem: MemorySystem | None = None,
-    programs: tuple[tuple, tuple] | None = None,
+    plan: _RoundPlan | None = None,
 ) -> bool:
     """Run one execution (a batch of rounds, like one kernel launch).
 
@@ -243,17 +424,21 @@ def _one_execution(
     """
     if mem is None:
         mem = MemorySystem(profile, field, rng)
-    sms = (0, 1)
+    if plan is None:
+        plan = _round_plan(instance)
+    n_threads = len(plan.programs)
+    sms = tuple(range(n_threads))
     if randomise and rng.random() < 0.5:
-        sms = (1, 0)
+        sms = sms[::-1]
     if randomise:
-        exec_p = (rng.uniform(0.35, 0.95), rng.uniform(0.35, 0.95))
+        exec_p = tuple(
+            rng.uniform(0.35, 0.95) for _ in range(n_threads)
+        )
     else:
-        exec_p = (_EXEC_P, _EXEC_P)
-    if programs is None:
-        programs = _resolved_programs(instance)
+        exec_p = (_EXEC_P,) * n_threads
+    round_fn = _one_round_ldst2 if plan.fast2 else _one_round
     for _ in range(rounds):
-        if _one_round(instance, mem, sms, exec_p, rng, programs):
+        if round_fn(plan, mem, sms, exec_p, rng):
             return True
     return False
 
@@ -283,7 +468,7 @@ def _litmus_span(
     mem: MemorySystem | None = None
     scratch_base = instance.scratch_base
     scratch_size = instance.scratch_size
-    programs = _resolved_programs(instance)
+    plan = _round_plan(instance)
     build = stress_spec.build
     # derive_seed is a left fold over the labels, so hoisting the
     # loop-invariant prefix yields the identical per-execution seed.
@@ -299,7 +484,7 @@ def _litmus_span(
             mem.reset(stress=field, rng=rng)
         if _one_execution(
             profile, instance, field, rng, randomise,
-            mem=mem, programs=programs,
+            mem=mem, plan=plan,
         ):
             weak += 1
     return weak
@@ -337,6 +522,11 @@ def run_litmus(
     execution is seeded from its global index.
     """
     config = resolve_config(parallel)
+    if test.n_threads > profile.n_sms:
+        raise ValueError(
+            f"{test.name} needs {test.n_threads} SMs; "
+            f"{profile.short_name} models {profile.n_sms}"
+        )
     instance = LitmusInstance.layout(profile, test, distance)
     if config.serial:
         weak = _litmus_span(

@@ -1,0 +1,85 @@
+"""Brute-force sequential-consistency oracle for litmus IR tests.
+
+A litmus test's *forbidden* outcome must be unreachable under sequential
+consistency — that is what makes observing it evidence of weak memory
+(paper Sec. 2).  This module enumerates every SC interleaving of a
+test's thread programs (each instruction executes atomically against a
+single global memory, in program order per thread) and checks whether
+any final state satisfies the forbidden condition.
+
+Registered tests have at most four threads of a few instructions, so
+exhaustive enumeration with state memoisation is instant; the test
+suite runs every registry entry through :func:`forbidden_sc_reachable`
+to guarantee the registry never ships a vacuous test.
+"""
+
+from __future__ import annotations
+
+from .tests import LitmusTest
+
+
+def _final_key(regs: dict, mem: dict) -> tuple:
+    return (tuple(sorted(regs.items())), tuple(sorted(mem.items())))
+
+
+def sc_outcomes(test: LitmusTest) -> set:
+    """All final (registers, memory) valuations reachable under SC.
+
+    Returns a set of ``(regs_items, mem_items)`` pairs of sorted item
+    tuples.  Registers unwritten at the end (impossible for complete
+    programs) and untouched locations default to 0 at evaluation time.
+    """
+    n = test.n_threads
+    programs = test.threads
+    lengths = tuple(len(p) for p in programs)
+    outcomes: set = set()
+    seen: set = set()
+
+    def rec(pcs: tuple, mem: dict, regs: dict) -> None:
+        state = (pcs, _final_key(regs, mem))
+        if state in seen:
+            return
+        seen.add(state)
+        if pcs == lengths:
+            outcomes.add(_final_key(regs, mem))
+            return
+        for t in range(n):
+            pc = pcs[t]
+            if pc >= lengths[t]:
+                continue
+            ins = programs[t][pc]
+            kind = ins[0]
+            next_pcs = pcs[:t] + (pc + 1,) + pcs[t + 1:]
+            if kind == "st":
+                mem2 = dict(mem)
+                mem2[ins[1]] = ins[2]
+                rec(next_pcs, mem2, regs)
+            elif kind == "ld":
+                regs2 = dict(regs)
+                regs2[ins[2]] = mem.get(ins[1], 0)
+                rec(next_pcs, mem, regs2)
+            elif kind == "rmw":
+                regs2 = dict(regs)
+                regs2[ins[2]] = mem.get(ins[1], 0)
+                mem2 = dict(mem)
+                mem2[ins[1]] = ins[3]
+                rec(next_pcs, mem2, regs2)
+            else:  # fence — no-op under SC
+                rec(next_pcs, mem, regs)
+
+    rec((0,) * n, {}, {})
+    return outcomes
+
+
+def forbidden_sc_reachable(test: LitmusTest) -> bool:
+    """True when some SC interleaving reaches the forbidden outcome.
+
+    A well-formed litmus test returns False: its forbidden outcome is
+    exactly the valuation SC rules out.
+    """
+    for regs_items, mem_items in sc_outcomes(test):
+        regs = dict(regs_items)
+        final = dict(mem_items)
+        if test.weak(regs, final):
+            return True
+    return False

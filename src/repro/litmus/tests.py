@@ -1,20 +1,38 @@
-"""The MP, LB and SB litmus tests (paper Fig. 2).
+"""The litmus-test registry: the paper's MP/LB/SB triple (Fig. 2) plus
+fenced variants, coherence tests and 3/4-thread idioms.
 
-A litmus test is two short thread programs over communication locations
-``x`` and ``y`` plus a query over the final register state.  Instructions
-are tuples:
+Every test is an instance of :class:`LitmusTest` over the declarative IR
+of :mod:`repro.litmus.ir`: N thread programs of ``st``/``ld``/``fence``/
+``rmw`` instructions over named locations, and a declarative forbidden
+outcome (register/location equalities under conjunction/disjunction)
+instead of an opaque callable.  The predicate is compiled from the
+condition at evaluation time, so tests remain pure picklable values and
+cross process boundaries when campaigns are sharded (repro.parallel).
 
-* ``("st", loc, value)`` — store ``value`` to ``loc`` (``"x"`` or ``"y"``)
-* ``("ld", loc, reg)`` — load ``loc`` into register ``reg``
-
-The *weak* outcome is the register valuation forbidden under sequential
-consistency but observable on machines with weak memory models.
+``TUNING_TESTS`` pins the Sec. 3 tuning pipeline to the paper's original
+MP/LB/SB triple — the tuning tables and golden statistics are invariant
+under registry growth.  ``ALL_TESTS`` is the full family.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from functools import cached_property
+
+from .ir import (
+    And,
+    RegEq,
+    LocEq,
+    compile_condition,
+    condition_locations,
+    fence,
+    format_condition,
+    ld,
+    st,
+    validate_test,
+)
+
+_EMPTY_FINAL: dict = {}
 
 Instruction = tuple
 Program = tuple[Instruction, ...]
@@ -22,48 +40,112 @@ Program = tuple[Instruction, ...]
 
 @dataclass(frozen=True)
 class LitmusTest:
-    """A two-thread litmus test with a weak-outcome predicate."""
+    """An N-thread litmus test with a declarative forbidden outcome."""
 
     name: str
     description: str
-    thread0: Program
-    thread1: Program
-    weak: Callable[[dict[str, int]], bool]
+    threads: tuple[Program, ...]
+    forbidden: object
+
+    def __post_init__(self) -> None:
+        validate_test(self)
+
+    # Pickle only the declarative fields: the cached derived structure
+    # (including the compiled predicate closure) is rebuilt on demand,
+    # so tests stay pure data values across process boundaries.
+    def __getstate__(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
+    # -- compatibility surface (the original two-thread shape) ---------
+    @property
+    def thread0(self) -> Program:
+        return self.threads[0]
 
     @property
+    def thread1(self) -> Program:
+        return self.threads[1]
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+    # -- derived structure ---------------------------------------------
+    @cached_property
     def registers(self) -> tuple[str, ...]:
+        """Registers written by loads/rmws, in program order."""
         regs = []
-        for program in (self.thread0, self.thread1):
+        for program in self.threads:
             for ins in program:
-                if ins[0] == "ld":
+                if ins[0] in ("ld", "rmw"):
                     regs.append(ins[2])
         return tuple(regs)
 
+    @cached_property
+    def locations(self) -> tuple[str, ...]:
+        """Locations in first-appearance order; index 0 is ``x`` (laid
+        out at the base of the communication area), index ``i`` sits
+        ``i * max(distance, 1)`` words above it (the paper's T_d
+        layout, generalised to three or more locations)."""
+        locs = []
+        for program in self.threads:
+            for ins in program:
+                if ins[0] != "fence" and ins[1] not in locs:
+                    locs.append(ins[1])
+        return tuple(locs)
 
-# The weak predicates are module-level functions (not lambdas) so that
-# tests pickle by reference and can cross process boundaries when litmus
-# campaigns are sharded (see repro.parallel).
-def _mp_weak(regs: dict[str, int]) -> bool:
-    return regs["r1"] == 1 and regs["r2"] == 0
+    @cached_property
+    def condition_locations(self) -> tuple[str, ...]:
+        """Locations whose final value the forbidden outcome queries."""
+        return tuple(
+            loc
+            for loc in self.locations
+            if loc in condition_locations(self.forbidden)
+        )
+
+    @cached_property
+    def _predicate(self):
+        return compile_condition(self.forbidden)
+
+    def weak(self, regs: dict, final: dict | None = None) -> bool:
+        """The forbidden-outcome predicate, compiled from the condition."""
+        if final is None:
+            if self.condition_locations:
+                raise ValueError(
+                    f"{self.name}'s condition references final location "
+                    "values; pass the final memory valuation"
+                )
+            final = _EMPTY_FINAL
+        return self._predicate(regs, final)
+
+    def pretty(self) -> str:
+        """One-line program + condition rendering for listings."""
+        progs = " || ".join(
+            "; ".join(
+                ":".join(str(part) for part in ins) for ins in program
+            )
+            for program in self.threads
+        )
+        return f"{progs}  forbid({format_condition(self.forbidden)})"
 
 
-def _lb_weak(regs: dict[str, int]) -> bool:
-    return regs["r1"] == 1 and regs["r2"] == 1
-
-
-def _sb_weak(regs: dict[str, int]) -> bool:
-    return regs["r1"] == 0 and regs["r2"] == 0
-
-
+# ----------------------------------------------------------------------
+# the family
+# ----------------------------------------------------------------------
 MP = LitmusTest(
     name="MP",
     description=(
         "Message passing: T1 writes data x then flag y; T2 reads flag "
         "then data.  Weak: flag observed set but data stale."
     ),
-    thread0=(("st", "x", 1), ("st", "y", 1)),
-    thread1=(("ld", "y", "r1"), ("ld", "x", "r2")),
-    weak=_mp_weak,
+    threads=(
+        (st("x", 1), st("y", 1)),
+        (ld("y", "r1"), ld("x", "r2")),
+    ),
+    forbidden=And(RegEq("r1", 1), RegEq("r2", 0)),
 )
 
 LB = LitmusTest(
@@ -72,9 +154,11 @@ LB = LitmusTest(
         "Load buffering: each thread loads one location then stores the "
         "other.  Weak: both loads observe the other thread's store."
     ),
-    thread0=(("ld", "x", "r1"), ("st", "y", 1)),
-    thread1=(("ld", "y", "r2"), ("st", "x", 1)),
-    weak=_lb_weak,
+    threads=(
+        (ld("x", "r1"), st("y", 1)),
+        (ld("y", "r2"), st("x", 1)),
+    ),
+    forbidden=And(RegEq("r1", 1), RegEq("r2", 1)),
 )
 
 SB = LitmusTest(
@@ -83,21 +167,229 @@ SB = LitmusTest(
         "Store buffering: each thread stores one location then loads the "
         "other.  Weak: both loads miss the other thread's store."
     ),
-    thread0=(("st", "x", 1), ("ld", "y", "r1")),
-    thread1=(("st", "y", 1), ("ld", "x", "r2")),
-    weak=_sb_weak,
+    threads=(
+        (st("x", 1), ld("y", "r1")),
+        (st("y", 1), ld("x", "r2")),
+    ),
+    forbidden=And(RegEq("r1", 0), RegEq("r2", 0)),
 )
 
-ALL_TESTS = (MP, LB, SB)
+MP_F0 = LitmusTest(
+    name="MP-F0",
+    description=(
+        "MP with a fence between the writer's data and flag stores; the "
+        "read side stays unfenced, so stale reads remain possible."
+    ),
+    threads=(
+        (st("x", 1), fence(), st("y", 1)),
+        (ld("y", "r1"), ld("x", "r2")),
+    ),
+    forbidden=And(RegEq("r1", 1), RegEq("r2", 0)),
+)
 
-_BY_NAME = {t.name: t for t in ALL_TESTS}
+MP_F1 = LitmusTest(
+    name="MP-F1",
+    description=(
+        "MP with a fence between the reader's flag and data loads; the "
+        "write side stays unfenced, so write reordering remains possible."
+    ),
+    threads=(
+        (st("x", 1), st("y", 1)),
+        (ld("y", "r1"), fence(), ld("x", "r2")),
+    ),
+    forbidden=And(RegEq("r1", 1), RegEq("r2", 0)),
+)
+
+MP_FF = LitmusTest(
+    name="MP-FF",
+    description=(
+        "MP fully fenced on both sides — the paper's repair; the weak "
+        "outcome should vanish."
+    ),
+    threads=(
+        (st("x", 1), fence(), st("y", 1)),
+        (ld("y", "r1"), fence(), ld("x", "r2")),
+    ),
+    forbidden=And(RegEq("r1", 1), RegEq("r2", 0)),
+)
+
+LB_FF = LitmusTest(
+    name="LB-FF",
+    description="LB with a fence between each thread's load and store.",
+    threads=(
+        (ld("x", "r1"), fence(), st("y", 1)),
+        (ld("y", "r2"), fence(), st("x", 1)),
+    ),
+    forbidden=And(RegEq("r1", 1), RegEq("r2", 1)),
+)
+
+SB_FF = LitmusTest(
+    name="SB-FF",
+    description="SB with a fence between each thread's store and load.",
+    threads=(
+        (st("x", 1), fence(), ld("y", "r1")),
+        (st("y", 1), fence(), ld("x", "r2")),
+    ),
+    forbidden=And(RegEq("r1", 0), RegEq("r2", 0)),
+)
+
+CoRR = LitmusTest(
+    name="CoRR",
+    description=(
+        "Coherence, read-read: two program-ordered loads of one location "
+        "must not observe its writes out of order."
+    ),
+    threads=(
+        (st("x", 1),),
+        (ld("x", "r1"), ld("x", "r2")),
+    ),
+    forbidden=And(RegEq("r1", 1), RegEq("r2", 0)),
+)
+
+CoWW = LitmusTest(
+    name="CoWW",
+    description=(
+        "Coherence, write-write: two program-ordered stores to one "
+        "location must commit in order (the final value is the last)."
+    ),
+    threads=((st("x", 1), st("x", 2)),),
+    forbidden=LocEq("x", 1),
+)
+
+R = LitmusTest(
+    name="R",
+    description=(
+        "Store-order test R: writer stores x then y; rival stores y "
+        "then reads x.  Weak: rival's y wins yet its read misses x."
+    ),
+    threads=(
+        (st("x", 1), st("y", 1)),
+        (st("y", 2), ld("x", "r1")),
+    ),
+    forbidden=And(LocEq("y", 2), RegEq("r1", 0)),
+)
+
+S = LitmusTest(
+    name="S",
+    description=(
+        "Store-order test S: writer stores x=2 then flag y; rival reads "
+        "the flag then stores x=1.  Weak: flag seen yet x=2 survives."
+    ),
+    threads=(
+        (st("x", 2), st("y", 1)),
+        (ld("y", "r1"), st("x", 1)),
+    ),
+    forbidden=And(LocEq("x", 2), RegEq("r1", 1)),
+)
+
+W2PLUS2 = LitmusTest(
+    name="2+2W",
+    description=(
+        "Two threads each store both locations in opposite orders.  "
+        "Weak: both locations retain the respective *first* store."
+    ),
+    threads=(
+        (st("x", 1), st("y", 2)),
+        (st("y", 1), st("x", 2)),
+    ),
+    forbidden=And(LocEq("x", 1), LocEq("y", 1)),
+)
+
+WRC = LitmusTest(
+    name="WRC",
+    description=(
+        "Write-to-read causality (3 threads): T2 forwards T1's write via "
+        "y; T3 sees the flag but misses the original write."
+    ),
+    threads=(
+        (st("x", 1),),
+        (ld("x", "r1"), st("y", 1)),
+        (ld("y", "r2"), ld("x", "r3")),
+    ),
+    forbidden=And(RegEq("r1", 1), RegEq("r2", 1), RegEq("r3", 0)),
+)
+
+IRIW = LitmusTest(
+    name="IRIW",
+    description=(
+        "Independent reads of independent writes (4 threads): two "
+        "readers observe two unrelated writes in opposite orders."
+    ),
+    threads=(
+        (st("x", 1),),
+        (st("y", 1),),
+        (ld("x", "r1"), ld("y", "r2")),
+        (ld("y", "r3"), ld("x", "r4")),
+    ),
+    forbidden=And(
+        RegEq("r1", 1), RegEq("r2", 0), RegEq("r3", 1), RegEq("r4", 0)
+    ),
+)
+
+LB3 = LitmusTest(
+    name="3.LB",
+    description=(
+        "Three-thread load buffering ring: each thread loads one "
+        "location and stores the next.  Weak: all three loads observe "
+        "the future."
+    ),
+    threads=(
+        (ld("x", "r1"), st("y", 1)),
+        (ld("y", "r2"), st("z", 1)),
+        (ld("z", "r3"), st("x", 1)),
+    ),
+    forbidden=And(RegEq("r1", 1), RegEq("r2", 1), RegEq("r3", 1)),
+)
+
+#: The paper's original triple; the Sec. 3 tuning pipeline is pinned to
+#: these (and only these) so its tables and golden statistics are
+#: invariant under registry growth.
+TUNING_TESTS = (MP, LB, SB)
+
+#: The full registry, tuning triple first.
+ALL_TESTS = (
+    MP,
+    LB,
+    SB,
+    MP_F0,
+    MP_F1,
+    MP_FF,
+    LB_FF,
+    SB_FF,
+    CoRR,
+    CoWW,
+    R,
+    S,
+    W2PLUS2,
+    WRC,
+    IRIW,
+    LB3,
+)
+
+#: Base test of each fenced variant (used by tests and reporting to
+#: check that fences strictly reduce weak rates).
+FENCED_VARIANTS = {
+    "MP-F0": "MP",
+    "MP-F1": "MP",
+    "MP-FF": "MP",
+    "LB-FF": "LB",
+    "SB-FF": "SB",
+}
+
+_BY_NAME = {t.name.upper(): t for t in ALL_TESTS}
+
+
+def test_names() -> tuple[str, ...]:
+    """Canonical registry names, in registry order."""
+    return tuple(t.name for t in ALL_TESTS)
 
 
 def get_test(name: str) -> LitmusTest:
-    """Look up MP, LB or SB by name."""
+    """Look up a registered test by (case-insensitive) name."""
     try:
         return _BY_NAME[name.upper()]
     except KeyError:
         raise ValueError(
-            f"unknown litmus test {name!r}; choose from {sorted(_BY_NAME)}"
+            f"unknown litmus test {name!r}; choose from "
+            f"{list(test_names())}"
         ) from None

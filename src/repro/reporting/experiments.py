@@ -15,7 +15,9 @@ from ..apps.registry import all_applications, table4_rows
 from ..chips.registry import all_chips, get_chip, table1_rows
 from ..costs.report import figure5_points, overhead_summary
 from ..hardening.insertion import empirical_fence_insertion
-from ..litmus.tests import ALL_TESTS
+from ..litmus.runner import run_litmus
+from ..litmus.tests import ALL_TESTS, TUNING_TESTS, get_test
+from ..stress.strategies import NoStress, TunedStress
 from ..parallel import ParallelConfig, resolve_config
 from ..scale import DEFAULT, Scale, get_scale
 from ..stress.environment import ENVIRONMENT_ORDER
@@ -139,7 +141,7 @@ def figure4(
                 (float(m), float(s))
                 for m, s in scores.series(test.name)
             ]
-            for test in ALL_TESTS
+            for test in TUNING_TESTS
         }
         out.append(
             render_series(
@@ -273,8 +275,59 @@ def figure5(
     return "\n".join(out)
 
 
+def survey(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    chips: tuple[str, ...] = ("K20", "Titan", "980"),
+    tests: tuple[str, ...] | None = None,
+    parallel: ParallelConfig | None = None,
+) -> str:
+    """Extended litmus survey: the full test family across chips.
+
+    Goes beyond the paper's MP/LB/SB triple: for every registered test
+    (fenced variants, coherence tests, 3/4-thread idioms) and every
+    selected chip, runs the direct backend natively and under the
+    chip's tuned ``sys-str`` stressing at distance ``2 x patch size``.
+    Fenced variants should show strictly lower tuned rates than their
+    unfenced bases; coherence tests should stay silent everywhere.
+    """
+    selected = (
+        [get_test(name) for name in tests] if tests else list(ALL_TESTS)
+    )
+    executions = max(20, scale.executions)
+    chip_objs = [get_chip(c) for c in chips]
+    rows = []
+    for test in selected:
+        row: dict[str, object] = {
+            "test": test.name,
+            "threads": test.n_threads,
+        }
+        for chip in chip_objs:
+            distance = 2 * chip.patch_size
+            native = run_litmus(
+                chip, test, distance, NoStress(), executions,
+                seed=seed, parallel=parallel,
+            )
+            tuned = run_litmus(
+                chip, test, distance,
+                TunedStress(shipped_params(chip.short_name)),
+                executions, seed=seed, parallel=parallel,
+            )
+            row[f"{chip.short_name} no-str"] = native.weak
+            row[f"{chip.short_name} sys-str"] = tuned.weak
+        rows.append(row)
+    return render_table(
+        rows,
+        title=(
+            "Litmus survey: weak outcomes per test "
+            f"(out of {executions} executions, d = 2 x patch size)"
+        ),
+    )
+
+
 EXPERIMENTS = {
     "table1": table1,
+    "survey": survey,
     "fig3": figure3,
     "table2": table2,
     "table3": table3,

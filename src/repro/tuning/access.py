@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..chips.profile import HardwareProfile
-from ..litmus import ALL_TESTS, run_litmus
+from ..litmus import TUNING_TESTS, run_litmus
 from ..parallel import ParallelConfig, parallel_map, resolve_config
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
@@ -90,13 +90,13 @@ def score_sequences(
     locations = tuple(range(0, scale.max_location, patch_size))
     distances = tuple(range(0, scale.max_distance, scale.seq_distance_step))
     scores = SequenceScores(
-        chip=chip.short_name, tests=tuple(t.name for t in ALL_TESTS)
+        chip=chip.short_name, tests=tuple(t.name for t in TUNING_TESTS)
     )
     sequences = all_sequences(scale.max_sequence_length)
     grid = [
         (seq, test, d, l)
         for seq in sequences
-        for test in ALL_TESTS
+        for test in TUNING_TESTS
         for d in distances
         for l in locations
     ]
@@ -109,7 +109,7 @@ def score_sequences(
         config,
     )
     for seq in sequences:
-        scores.scores[seq] = {t.name: 0 for t in ALL_TESTS}
+        scores.scores[seq] = {t.name: 0 for t in TUNING_TESTS}
     for (seq, test, _d, _l), weak in zip(grid, counts):
         scores.scores[seq][test.name] += weak
     return scores

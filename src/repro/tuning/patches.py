@@ -17,7 +17,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from ..chips.profile import HardwareProfile
-from ..litmus import ALL_TESTS, LitmusTest, run_litmus
+from ..litmus import TUNING_TESTS, LitmusTest, run_litmus
 from ..parallel import ParallelConfig, parallel_map, resolve_config
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
@@ -71,7 +71,7 @@ def scan_patches(
     chip: HardwareProfile,
     scale: Scale = DEFAULT,
     seed: int = 0,
-    tests: tuple[LitmusTest, ...] = ALL_TESTS,
+    tests: tuple[LitmusTest, ...] = TUNING_TESTS,
     parallel: ParallelConfig | None = None,
 ) -> PatchScan:
     """Run the ⟨T_d, l⟩ grid for one chip.

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..chips.profile import HardwareProfile
-from ..litmus import ALL_TESTS, run_litmus
+from ..litmus import TUNING_TESTS, run_litmus
 from ..parallel import ParallelConfig, parallel_map, resolve_config
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
@@ -70,7 +70,7 @@ def score_spreads(
         range(0, scale.max_distance, scale.spread_distance_step)
     )
     scores = SpreadScores(
-        chip=chip.short_name, tests=tuple(t.name for t in ALL_TESTS)
+        chip=chip.short_name, tests=tuple(t.name for t in TUNING_TESTS)
     )
     spreads = tuple(range(1, scale.max_spread + 1))
     specs = {
@@ -86,7 +86,7 @@ def score_spreads(
         for m in spreads
     }
     grid = [
-        (m, test, d) for m in spreads for test in ALL_TESTS for d in distances
+        (m, test, d) for m in spreads for test in TUNING_TESTS for d in distances
     ]
     counts = parallel_map(
         _spread_cell,
@@ -97,7 +97,7 @@ def score_spreads(
         config,
     )
     for m in spreads:
-        scores.scores[m] = {t.name: 0 for t in ALL_TESTS}
+        scores.scores[m] = {t.name: 0 for t in TUNING_TESTS}
     for (m, test, _d), weak in zip(grid, counts):
         scores.scores[m][test.name] += weak
     return scores

@@ -26,6 +26,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cbe-dot" in out and "ls-bh-nf" in out
 
+    def test_tests_lists_registry(self, capsys):
+        from repro.litmus import ALL_TESTS
+
+        assert main(["tests"]) == 0
+        out = capsys.readouterr().out
+        for test in ALL_TESTS:
+            assert test.name in out
+        assert "IRIW" in out and "Coherence" in out
+
+    def test_litmus_name_case_insensitive(self, capsys):
+        code = main([
+            "litmus", "corr", "--chip", "K20", "--distance", "64",
+            "--executions", "10",
+        ])
+        assert code == 0
+        assert "CoRR d=64 on K20" in capsys.readouterr().out
+
+    def test_litmus_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["litmus", "MP+lwsync", "--executions", "5"])
+
+    def test_litmus_engine_backend(self, capsys):
+        code = main([
+            "litmus", "MP", "--chip", "K20", "--distance", "64",
+            "--executions", "4", "--backend", "engine",
+        ])
+        assert code == 0
+        assert "[engine]" in capsys.readouterr().out
+
+    def test_experiment_survey_with_tests_filter(self, capsys):
+        code = main([
+            "experiment", "survey", "--scale", "smoke",
+            "--chips", "K20", "--tests", "MP", "mp-ff",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MP-FF" in out and "Litmus survey" in out
+
+    def test_tests_filter_rejected_outside_survey(self, capsys):
+        code = main([
+            "experiment", "table1", "--tests", "MP",
+        ])
+        assert code == 2
+        assert "--tests" in capsys.readouterr().err
+
     def test_litmus_native(self, capsys):
         code = main([
             "litmus", "MP", "--chip", "K20", "--distance", "64",

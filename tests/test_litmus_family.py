@@ -1,0 +1,399 @@
+"""Tests for the extended litmus family, its IR and the dual backends.
+
+Four pillars:
+
+* **SC soundness** — every registered test's forbidden outcome is
+  unreachable under sequential consistency (brute-force enumerator),
+  and the ``sc-ref`` chip never observes it empirically on either
+  backend.
+* **Fence monotonicity** — fenced variants show strictly lower weak
+  rates than their unfenced bases on weak chips under tuned stress.
+* **Backend parity** — every test runs on both the direct fast path
+  and the compiled SIMT-engine path; their weak rates agree within a
+  fixed-seed tolerance.
+* **Seed continuity** — the generalised runner reproduces the seed
+  repo's MP/LB/SB results bit for bit (see also the full pinning in
+  ``tests/test_golden_stats.py``).
+"""
+
+import pickle
+
+import pytest
+
+from repro.chips import SC_REFERENCE, get_chip
+from repro.litmus import (
+    ALL_TESTS,
+    FENCED_VARIANTS,
+    MP,
+    TUNING_TESTS,
+    LitmusTest,
+    backend_parity,
+    compile_test,
+    forbidden_sc_reachable,
+    get_test,
+    run_litmus,
+    run_litmus_compiled,
+)
+from repro.litmus.ir import (
+    And,
+    LocEq,
+    Or,
+    RegEq,
+    condition_locations,
+    condition_registers,
+    evaluate,
+    fence,
+    format_condition,
+    ld,
+    rmw,
+    st,
+)
+from repro.litmus.runner import LitmusInstance
+from repro.litmus.sc import sc_outcomes
+from repro.stress.strategies import NoStress, TunedStress
+from repro.tuning.pipeline import shipped_params
+
+#: Fixed-seed tolerance for direct-vs-engine weak-rate agreement.  The
+#: backends sample the same memory model through different drivers
+#: (scripted threads vs scheduled warps), so rates track but do not
+#: coincide; 60-execution samples at seed 7 sit well inside 0.3.
+_PARITY_TOLERANCE = 0.3
+
+_names = [t.name for t in ALL_TESTS]
+
+
+def _tuned(chip):
+    return TunedStress(shipped_params(chip.short_name))
+
+
+# ----------------------------------------------------------------------
+# IR and conditions
+# ----------------------------------------------------------------------
+class TestConditionIR:
+    def test_evaluate_leaves_and_connectives(self):
+        cond = Or(And(RegEq("r1", 1), RegEq("r2", 0)), LocEq("x", 2))
+        assert evaluate(cond, {"r1": 1, "r2": 0}, {"x": 0})
+        assert evaluate(cond, {"r1": 0, "r2": 0}, {"x": 2})
+        assert not evaluate(cond, {"r1": 0, "r2": 1}, {"x": 0})
+
+    def test_unwritten_registers_default_to_zero(self):
+        assert evaluate(RegEq("r9", 0), {})
+
+    def test_loc_condition_requires_final_memory(self):
+        with pytest.raises(ValueError):
+            evaluate(LocEq("x", 1), {})
+
+    def test_condition_introspection(self):
+        cond = And(RegEq("r1", 1), Or(LocEq("x", 2), RegEq("r2", 0)))
+        assert condition_registers(cond) == {"r1", "r2"}
+        assert condition_locations(cond) == {"x"}
+
+    def test_format_condition(self):
+        cond = And(RegEq("r1", 1), LocEq("y", 2))
+        assert format_condition(cond) == "r1=1 & [y]=2"
+
+    def test_duplicate_register_rejected(self):
+        with pytest.raises(ValueError):
+            LitmusTest(
+                name="bad",
+                description="",
+                threads=((ld("x", "r1"),), (ld("y", "r1"),)),
+                forbidden=RegEq("r1", 1),
+            )
+
+    def test_condition_over_unwritten_register_rejected(self):
+        with pytest.raises(ValueError):
+            LitmusTest(
+                name="bad",
+                description="",
+                threads=((st("x", 1),),),
+                forbidden=RegEq("r1", 1),
+            )
+
+    def test_malformed_instruction_rejected(self):
+        with pytest.raises(ValueError):
+            LitmusTest(
+                name="bad",
+                description="",
+                threads=((("cas", "x", 1),),),
+                forbidden=LocEq("x", 1),
+            )
+
+    def test_tests_are_picklable_values(self):
+        # Tests cross process boundaries when campaigns are sharded.
+        for test in ALL_TESTS:
+            clone = pickle.loads(pickle.dumps(test))
+            assert clone == test
+            assert clone.weak({r: 0 for r in clone.registers}, {}) in (
+                True,
+                False,
+            )
+
+    def test_tests_picklable_after_predicate_compiled(self):
+        # Evaluating ``weak`` caches a compiled closure; pickling must
+        # still ship only the declarative fields.
+        test = get_test("CoWW")
+        assert not test.weak({}, {"x": 2})
+        clone = pickle.loads(pickle.dumps(test))
+        assert clone == test
+        assert clone.weak({}, {"x": 1})
+
+    def test_structure_accessors(self):
+        t = get_test("3.LB")
+        assert t.n_threads == 3
+        assert t.locations == ("x", "y", "z")
+        assert t.registers == ("r1", "r2", "r3")
+        assert "forbid(" in t.pretty()
+        iriw = get_test("IRIW")
+        assert iriw.n_threads == 4
+        assert get_test("CoWW").condition_locations == ("x",)
+
+
+# ----------------------------------------------------------------------
+# SC soundness
+# ----------------------------------------------------------------------
+class TestSCUnreachability:
+    @pytest.mark.parametrize("test", ALL_TESTS, ids=_names)
+    def test_forbidden_outcome_sc_unreachable(self, test):
+        assert not forbidden_sc_reachable(test), (
+            f"{test.name}'s forbidden outcome is reachable under SC — "
+            "the test is not a litmus test"
+        )
+
+    def test_enumerator_detects_reachable_outcomes(self):
+        # Sanity: the *allowed* MP outcome (both loads hit) is SC-
+        # reachable, so the enumerator is not vacuously returning False.
+        allowed = LitmusTest(
+            name="MP-allowed",
+            description="",
+            threads=MP.threads,
+            forbidden=And(RegEq("r1", 1), RegEq("r2", 1)),
+        )
+        assert forbidden_sc_reachable(allowed)
+
+    def test_enumerator_handles_rmw_and_fence(self):
+        t = LitmusTest(
+            name="lock-ish",
+            description="",
+            threads=(
+                (rmw("l", "r1", 1), fence(), st("x", 1)),
+                (rmw("l", "r2", 1),),
+            ),
+            forbidden=And(RegEq("r1", 1), RegEq("r2", 1)),
+        )
+        # Both exchanges cannot observe a taken lock under SC (one of
+        # them runs first and sees 0).
+        assert not forbidden_sc_reachable(t)
+        assert len(sc_outcomes(t)) > 1
+
+    @pytest.mark.parametrize("test", ALL_TESTS, ids=_names)
+    def test_sc_reference_chip_never_weak_direct(self, test):
+        result = run_litmus(
+            SC_REFERENCE, test, 64, NoStress(), executions=40, seed=9
+        )
+        assert result.weak == 0
+
+    @pytest.mark.parametrize("name", ["MP", "SB-FF", "CoWW", "S", "IRIW"])
+    def test_sc_reference_chip_never_weak_engine(self, name):
+        result = run_litmus_compiled(
+            SC_REFERENCE, get_test(name), 64, NoStress(),
+            executions=8, seed=9,
+        )
+        assert result.weak == 0
+
+
+# ----------------------------------------------------------------------
+# the family on the direct backend
+# ----------------------------------------------------------------------
+class TestFamilyDirect:
+    @pytest.mark.parametrize(
+        "fenced,base", sorted(FENCED_VARIANTS.items())
+    )
+    @pytest.mark.parametrize("chip_name", ["K20", "Titan"])
+    def test_fences_strictly_reduce_weak_rates(self, chip_name, fenced, base):
+        chip = get_chip(chip_name)
+        d = 2 * chip.patch_size
+        spec = _tuned(chip)
+        weak_fenced = run_litmus(
+            chip, get_test(fenced), d, spec, 150, seed=7
+        ).weak
+        weak_base = run_litmus(
+            chip, get_test(base), d, spec, 150, seed=7
+        ).weak
+        assert weak_fenced < weak_base, (
+            f"{fenced} ({weak_fenced}) not strictly below "
+            f"{base} ({weak_base}) on {chip_name}"
+        )
+
+    def test_fully_fenced_variants_silent(self, k20):
+        d = 2 * k20.patch_size
+        spec = _tuned(k20)
+        for name in ("MP-FF", "LB-FF", "SB-FF"):
+            result = run_litmus(k20, get_test(name), d, spec, 150, seed=7)
+            assert result.weak == 0, f"{name} weak under full fencing"
+
+    @pytest.mark.parametrize("name", ["CoRR", "CoWW"])
+    def test_coherence_tests_silent_everywhere(self, name, k20):
+        # The model is coherent: per-location orderings survive any
+        # amount of stress.
+        d = 2 * k20.patch_size
+        result = run_litmus(k20, get_test(name), d, _tuned(k20), 200, seed=7)
+        assert result.weak == 0
+
+    @pytest.mark.parametrize("name", ["R", "S", "2+2W", "WRC", "3.LB"])
+    def test_new_idioms_observable_under_stress(self, name, k20):
+        d = 2 * k20.patch_size
+        result = run_litmus(k20, get_test(name), d, _tuned(k20), 150, seed=7)
+        assert result.weak > 0, f"{name} silent under tuned stress"
+
+    def test_multi_thread_layout_spaces_locations(self, k20):
+        inst = LitmusInstance.layout(k20, get_test("3.LB"), 96)
+        a = inst.loc_addrs()
+        assert len(a) == 3
+        assert a[1] - a[0] == 96 and a[2] - a[1] == 96
+        assert inst.addr("z") == a[2]
+
+    def test_rmw_instruction_executes_on_direct_path(self, k20):
+        t = LitmusTest(
+            name="xchg",
+            description="",
+            threads=((rmw("x", "r1", 7),), (rmw("x", "r2", 9),)),
+            forbidden=And(RegEq("r1", 99), RegEq("r2", 99)),
+        )
+        result = run_litmus(k20, t, 64, _tuned(k20), 30, seed=3)
+        # One exchange sees 0, the other sees the first's value (7/9);
+        # neither can see 99, so no round is weak — but the run must
+        # complete, proving rmw flows through the atomic pipeline.
+        assert result.weak == 0
+
+    @pytest.mark.parametrize("name", ["MP-FF", "WRC", "2+2W"])
+    def test_sharded_runs_match_serial(self, name, k20):
+        # New-family tests must honour the repro.parallel determinism
+        # contract: fenced, multi-thread and final-value conditions all
+        # cross the process boundary and shard cleanly.
+        from repro.parallel import ParallelConfig
+
+        d = 2 * k20.patch_size
+        serial = run_litmus(k20, get_test(name), d, _tuned(k20), 40, seed=5)
+        sharded = run_litmus(
+            k20, get_test(name), d, _tuned(k20), 40, seed=5,
+            parallel=ParallelConfig(jobs=2),
+        )
+        assert serial.weak == sharded.weak
+
+    def test_registry_test_ran_through_all_rounds(self, k20):
+        # Unfenced tests with high exec probabilities complete all
+        # instructions; spot-check determinism across repeats.
+        a = run_litmus(k20, get_test("WRC"), 128, _tuned(k20), 40, seed=5)
+        b = run_litmus(k20, get_test("WRC"), 128, _tuned(k20), 40, seed=5)
+        assert a.weak == b.weak
+
+
+# ----------------------------------------------------------------------
+# the compiled SIMT backend and cross-backend parity
+# ----------------------------------------------------------------------
+class TestCompiledBackend:
+    @pytest.mark.parametrize("test", ALL_TESTS, ids=_names)
+    def test_every_test_compiles_and_runs(self, test, k20):
+        compiled = compile_test(k20, test, 2 * k20.patch_size)
+        assert compiled.config.grid_dim == test.n_threads
+        result = run_litmus_compiled(
+            k20, test, 2 * k20.patch_size, _tuned(k20),
+            executions=4, seed=11,
+        )
+        assert 0 <= result.weak <= 4
+
+    def test_too_many_threads_rejected(self, k20):
+        t = LitmusTest(
+            name="wide",
+            description="",
+            threads=tuple((st("x", 1),) for _ in range(k20.n_sms + 1)),
+            forbidden=LocEq("x", 0),
+        )
+        with pytest.raises(ValueError):
+            compile_test(k20, t, 64)
+        # The direct backend rejects it just as cleanly (no raw
+        # IndexError out of the memory system).
+        with pytest.raises(ValueError, match="SMs"):
+            run_litmus(k20, t, 64, NoStress(), 4, seed=1)
+
+    @pytest.mark.parametrize(
+        "name", ["MP", "LB", "SB", "R", "2+2W", "WRC", "IRIW"]
+    )
+    def test_backend_parity_within_tolerance(self, name, k20):
+        report = backend_parity(
+            k20, get_test(name), 2 * k20.patch_size, _tuned(k20),
+            executions=60, seed=7,
+        )
+        assert report.agree(_PARITY_TOLERANCE), (
+            f"{name}: direct rate {report.direct.rate:.3f} vs engine "
+            f"rate {report.engine.rate:.3f} (gap {report.gap:.3f})"
+        )
+
+    @pytest.mark.parametrize("name", ["MP-FF", "LB-FF", "SB-FF", "CoRR"])
+    def test_suppressed_tests_silent_on_both_backends(self, name, k20):
+        report = backend_parity(
+            k20, get_test(name), 2 * k20.patch_size, _tuned(k20),
+            executions=30, seed=7,
+        )
+        assert report.direct.weak == 0
+        assert report.engine.weak == 0
+
+    def test_engine_backend_observes_lb_reordering(self, k20):
+        # The issue/poll deferred-load ops are what make LB-shaped
+        # reordering visible to compiled kernels; without them the
+        # engine path would flatline at zero.
+        result = run_litmus_compiled(
+            k20, get_test("LB"), 2 * k20.patch_size, _tuned(k20),
+            executions=40, seed=7,
+        )
+        assert result.weak > 0
+
+    def test_result_records_backend(self, k20):
+        direct = run_litmus(k20, MP, 64, NoStress(), 4, seed=1)
+        engine = run_litmus_compiled(k20, MP, 64, NoStress(), 2, seed=1)
+        assert direct.backend == "direct"
+        assert engine.backend == "engine"
+
+    def test_engine_backend_deterministic(self, k20):
+        kwargs = dict(executions=12, seed=13)
+        a = run_litmus_compiled(
+            k20, MP, 128, _tuned(k20), **kwargs
+        )
+        b = run_litmus_compiled(
+            k20, MP, 128, _tuned(k20), **kwargs
+        )
+        assert a.weak == b.weak
+
+    def test_rmw_lowering_runs_on_engine(self, k20):
+        t = LitmusTest(
+            name="xchg-e",
+            description="",
+            threads=((rmw("x", "r1", 7),), (rmw("x", "r2", 9),)),
+            forbidden=And(RegEq("r1", 99), RegEq("r2", 99)),
+        )
+        result = run_litmus_compiled(k20, t, 64, _tuned(k20), 6, seed=3)
+        assert result.weak == 0
+
+
+# ----------------------------------------------------------------------
+# seed continuity (see tests/test_golden_stats.py for the full pinning)
+# ----------------------------------------------------------------------
+class TestSeedContinuity:
+    #: run_litmus(chip, test, 2*patch, sys-str, 40 executions, seed 7)
+    #: weak counts captured from the seed repo's two-thread runner.
+    _GOLDEN = {"MP": 10, "LB": 3, "SB": 2}
+
+    @pytest.mark.parametrize("name", sorted(_GOLDEN))
+    def test_refactored_runner_matches_seed_repo(self, name, k20):
+        result = run_litmus(
+            k20, get_test(name), 2 * k20.patch_size, _tuned(k20),
+            executions=40, seed=7,
+        )
+        assert result.weak == self._GOLDEN[name]
+
+    def test_tuning_triple_identity(self):
+        # The tuning pipeline's inputs are the very same objects the
+        # seed repo exposed, in the same order.
+        assert [t.name for t in TUNING_TESTS] == ["MP", "LB", "SB"]
+        assert all(t.n_threads == 2 for t in TUNING_TESTS)

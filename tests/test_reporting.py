@@ -47,11 +47,32 @@ class TestRenderFigures:
 
 
 class TestExperimentRegistry:
-    def test_all_nine_artefacts_present(self):
+    def test_all_artefacts_present(self):
+        # The paper's nine artefacts plus the extended litmus survey.
         assert set(EXPERIMENTS) == {
             "table1", "fig3", "table2", "table3", "fig4",
-            "table4", "table5", "table6", "fig5",
+            "table4", "table5", "table6", "fig5", "survey",
         }
+
+    def test_survey_covers_full_family(self):
+        from repro.litmus import ALL_TESTS
+        from repro.scale import SMOKE
+
+        text = run_experiment(
+            "survey", scale=SMOKE, seed=3, chips=("K20",),
+        )
+        for test in ALL_TESTS:
+            assert test.name in text
+        assert "K20 sys-str" in text
+
+    def test_survey_tests_filter(self):
+        from repro.scale import SMOKE
+
+        text = run_experiment(
+            "survey", scale=SMOKE, seed=3, chips=("K20",),
+            tests=("MP", "IRIW"),
+        )
+        assert "IRIW" in text and "CoWW" not in text
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(ValueError):
