@@ -1,0 +1,99 @@
+"""Durable, resumable campaigns with the run ledger (repro.store).
+
+The paper's tables are derived from archived campaign logs, not
+re-measured hardware.  This walkthrough gives the reproduction the same
+workflow: a Table 5 campaign checkpoints every completed shard into an
+append-only JSONL ledger, an (artificially) interrupted run is resumed
+bit-identically, and the finished ledger regenerates the table with
+zero simulation runs.
+
+Run with::
+
+    python examples/resumable_campaign.py
+"""
+
+import dataclasses
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.reporting.experiments import run_experiment
+from repro.scale import SMOKE
+from repro.store import RunLedger, campaign_cells
+
+SCALE = dataclasses.replace(SMOKE, campaign_runs=8)
+CHIPS = ("K20",)
+ENVIRONMENTS = ("no-str-", "sys-str+")
+
+
+def main() -> None:
+    root = Path(tempfile.mkdtemp(prefix="gpu-wmm-ledger-"))
+    ledger_dir = root / "ledger"
+
+    print("1. Cold reference run (no ledger)...")
+    cold = run_experiment(
+        "table5", scale=SCALE, seed=7, chips=CHIPS,
+        environments=ENVIRONMENTS,
+    )
+
+    print("2. Campaign writing to the ledger, interrupted mid-run...")
+    import repro.testing.campaign as campaign
+
+    real_map = campaign.parallel_map
+
+    def interrupting_map(fn, items, config, on_result=None):
+        count = 0
+
+        def counting(index, result):
+            nonlocal count
+            if on_result is not None:
+                on_result(index, result)
+            count += 1
+            if count >= 2:  # simulate a kill after two shards
+                raise KeyboardInterrupt
+
+        return real_map(fn, items, config, counting)
+
+    campaign.parallel_map = interrupting_map
+    try:
+        run_experiment(
+            "table5", scale=SCALE, seed=7, chips=CHIPS,
+            environments=ENVIRONMENTS, out=str(ledger_dir),
+        )
+    except KeyboardInterrupt:
+        print("   ... interrupted (as planned)")
+    finally:
+        campaign.parallel_map = real_map
+
+    survivors = RunLedger.open(ledger_dir)
+    print(f"   ledger after the kill: {survivors.counts_by_kind()}")
+
+    print("3. Resuming: only the missing run ranges execute...")
+    resumed = run_experiment(
+        "table5", scale=SCALE, seed=7, chips=CHIPS,
+        environments=ENVIRONMENTS, resume=str(ledger_dir),
+    )
+    assert resumed == cold, "resumed output must be byte-identical"
+    print("   byte-identical to the uninterrupted run: yes")
+
+    print("4. Rendering again from the complete ledger (zero runs)...")
+    again = run_experiment(
+        "table5", scale=SCALE, seed=7, chips=CHIPS,
+        environments=ENVIRONMENTS, resume=str(ledger_dir),
+    )
+    assert again == cold
+    final = RunLedger.open(ledger_dir)
+    print(f"   final ledger: {final.counts_by_kind()}")
+    print(f"   {len(campaign_cells(final))} campaign cells on disk, e.g.")
+    for cell in campaign_cells(final)[:3]:
+        print(f"     {cell}")
+    print()
+    print(again)
+    print("CLI equivalent:")
+    print("  gpu-wmm experiment table5 --scale smoke --out ledger/")
+    print("  gpu-wmm experiment table5 --scale smoke --resume ledger/")
+    shutil.rmtree(root)
+
+
+if __name__ == "__main__":
+    main()

@@ -57,6 +57,7 @@ from .litmus.tests import (
     get_test,
 )
 from .scale import DEFAULT, PAPER, SMOKE, Scale, get_scale
+from .store import RunLedger
 from .stress.config import StressConfig
 from .stress.environment import TestingEnvironment, standard_environments
 from .stress.strategies import (
@@ -105,6 +106,7 @@ __all__ = [
     "DEFAULT",
     "PAPER",
     "get_scale",
+    "RunLedger",
     "StressConfig",
     "TestingEnvironment",
     "standard_environments",

@@ -12,7 +12,11 @@ Subcommands:
 
 Every run-loop subcommand accepts ``--jobs N`` to shard its work across
 worker processes (``0`` = one per CPU); results are identical at any
-job count.
+job count.  It also accepts ``--out DIR`` / ``--resume DIR`` to attach
+a persistent run ledger: completed results stream into DIR as they
+finish, a resumed invocation replays only the missing keys
+(bit-identically to an uninterrupted run), and a complete ledger
+regenerates its artefact with zero simulation runs.
 """
 
 from __future__ import annotations
@@ -29,7 +33,8 @@ from .litmus.compile import run_litmus_compiled
 from .litmus.runner import run_litmus
 from .litmus.tests import ALL_TESTS, get_test, test_names
 from .parallel import ParallelConfig
-from .reporting.experiments import EXPERIMENTS, run_experiment
+from .reporting.experiments import EXPERIMENTS, open_ledger, run_experiment
+from .store import litmus_key, records as store_records, stress_token
 from .scale import get_scale
 from .stress.environment import ENVIRONMENT_ORDER, standard_environments
 from .stress.sequences import parse_sequence
@@ -89,11 +94,34 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "0 = one per CPU; results are identical at any job count)"
         ),
     )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write completed results to a run ledger at DIR "
+            "(created if missing; already-ledgered results are reused)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help=(
+            "resume from the run ledger at DIR (must exist); only "
+            "missing results are re-run, bit-identically to a cold run"
+        ),
+    )
 
 
 def _parallel(args: argparse.Namespace) -> ParallelConfig | None:
     """The ParallelConfig implied by ``--jobs`` (None = serial default)."""
     return None if args.jobs is None else ParallelConfig(jobs=args.jobs)
+
+
+def _ledger(args: argparse.Namespace):
+    """The RunLedger implied by ``--out`` / ``--resume`` (or None)."""
+    return open_ledger(args.out, args.resume)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -131,6 +159,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             scale=args.scale,
             seed=args.seed,
             jobs=args.jobs,
+            out=args.out,
+            resume=args.resume,
             **kwargs,
         )
     except (ReproError, ValueError) as exc:
@@ -173,16 +203,31 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
     else:
         spec = NoStress()
     runner = run_litmus if args.backend == "direct" else run_litmus_compiled
-    result = runner(
-        chip,
-        test,
-        args.distance,
-        spec,
-        args.executions,
-        seed=args.seed,
+    ledger = _ledger(args)
+    key = litmus_key(
+        chip.short_name, test.name, stress_token(spec), args.distance,
+        args.executions, args.seed, backend=args.backend,
         randomise=args.randomise,
-        parallel=_parallel(args),
     )
+    if ledger is not None and (record := ledger.get(key)) is not None:
+        result = store_records.decode_litmus(record)
+    else:
+        result = runner(
+            chip,
+            test,
+            args.distance,
+            spec,
+            args.executions,
+            seed=args.seed,
+            randomise=args.randomise,
+            parallel=_parallel(args),
+        )
+        if ledger is not None:
+            ledger.append(
+                store_records.encode_litmus(
+                    key, result, chip=chip.short_name, seed=args.seed
+                )
+            )
     print(
         f"{test.name} d={args.distance} on {chip.short_name} "
         f"[{args.backend}]: {result.weak}/{result.executions} weak "
@@ -200,7 +245,8 @@ def _cmd_test_app(args: argparse.Namespace) -> int:
     }
     env = envs[args.environment]
     cell = run_cell(
-        app, chip, env, args.runs, seed=args.seed, parallel=_parallel(args)
+        app, chip, env, args.runs, seed=args.seed,
+        parallel=_parallel(args), ledger=_ledger(args),
     )
     rate = 100.0 * cell.error_rate
     effective = "effective" if rate > 5.0 else "not effective"
@@ -221,6 +267,7 @@ def _cmd_harden(args: argparse.Namespace) -> int:
         scale=get_scale(args.scale),
         seed=args.seed,
         parallel=_parallel(args),
+        ledger=_ledger(args),
     )
     print(
         f"{app.name} on {chip.short_name}: {result.initial_fences} "
@@ -249,6 +296,14 @@ def _epilog() -> str:
             "  processes (0 = one per CPU).  Statistics are identical",
             "  at any job count; only wall-clock time changes.",
             "",
+            "persistent run ledger:",
+            "  pass --out DIR to checkpoint completed results into an",
+            "  append-only ledger as they finish, and --resume DIR to",
+            "  continue an interrupted campaign: only missing results",
+            "  are re-run, bit-identically to an uninterrupted run.  A",
+            "  complete ledger regenerates its tables with zero",
+            "  simulation runs.",
+            "",
             "examples:",
             "  gpu-wmm tests                  # litmus registry",
             "  gpu-wmm litmus MP --chip K20 --stress-at 0,64",
@@ -258,6 +313,8 @@ def _epilog() -> str:
             "      --tests MP MP-FF IRIW",
             "  gpu-wmm experiment table5 --scale smoke --jobs 4 \\",
             "      --chips K20 --environments no-str- sys-str+",
+            "  gpu-wmm experiment table5 --scale paper --out ledger/",
+            "  gpu-wmm experiment table5 --scale paper --resume ledger/",
             "  gpu-wmm harden cbe-dot --chip Titan --jobs 0",
         ]
     )
@@ -433,7 +490,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        # E.g. --resume pointing at a directory without a ledger.
+        print(f"gpu-wmm: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

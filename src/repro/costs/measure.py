@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from ..apps.base import Application, ApplicationBatch
 from ..chips.power import PowerModel
 from ..chips.profile import HardwareProfile
+from ..errors import CostMeasurementError
 from ..hardening.fence_sets import all_fences
 from ..rng import derive_seed
 
@@ -90,13 +91,41 @@ def measure_cost(
     runs: int = 30,
     seed: int = 0,
     empirical: frozenset[str] | None = None,
+    ledger=None,
 ) -> CostMeasurement:
     """Average native runtime/energy over ``runs`` passing executions.
 
     The retry loop shares one :class:`ApplicationBatch` (native
     conditions: no stress, no randomisation), so repeated attempts cost
-    only the execution itself.
+    only the execution itself.  Attempt seeds derive from the full
+    (app, chip, strategy, attempt) identity, so no two cells of the
+    cost grid ever replay the same execution stream.
+
+    ``ledger`` caches the finished measurement under its content key;
+    a recorded (chip, app, strategy, runs, seed) cell is decoded
+    instead of re-measured.
     """
+    from ..store import cached_or_run, cost_key, records as store_records
+
+    key = cost_key(
+        chip.short_name, app.name, strategy.name, runs, seed,
+        fences=empirical,
+    )
+    return cached_or_run(
+        ledger, key,
+        lambda: _measure_cost(app, chip, strategy, runs, seed, empirical),
+        store_records.encode_cost, store_records.decode_cost,
+    )
+
+
+def _measure_cost(
+    app: Application,
+    chip: HardwareProfile,
+    strategy: FencingStrategy,
+    runs: int,
+    seed: int,
+    empirical: frozenset[str] | None,
+) -> CostMeasurement:
     power = PowerModel(chip)
     runtimes: list[float] = []
     energies: list[float] = []
@@ -107,12 +136,14 @@ def measure_cost(
     while len(runtimes) < runs:
         attempt += 1
         if attempt > runs * 4:
-            raise RuntimeError(
-                f"too many erroneous native runs for {app.name} on "
-                f"{chip.short_name}; cannot measure cost"
+            raise CostMeasurementError(
+                app.name, chip.short_name, attempt - 1, len(runtimes)
             )
         result = batch.run(
-            derive_seed(seed, "cost", strategy.value, attempt),
+            derive_seed(
+                seed, "cost", app.name, chip.short_name, strategy.value,
+                attempt,
+            ),
             fence_sites=fences,
         )
         if result.erroneous:

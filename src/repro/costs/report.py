@@ -41,18 +41,22 @@ def figure5_points(
     runs: int = 20,
     seed: int = 0,
     empirical: dict[tuple[str, str], frozenset[str]] | None = None,
+    ledger=None,
 ) -> list[CostPoint]:
     """Measure every (chip, app) under all three strategies.
 
     ``empirical`` optionally maps (chip, app) to the fence set found by
     empirical insertion on that chip; ground-truth sets are used
-    otherwise.
+    otherwise.  ``ledger`` caches each finished
+    :class:`CostMeasurement`, so an interrupted cost study resumes at
+    the first unmeasured (chip, app, strategy) cell.
     """
     points = []
     for chip in chips:
         for app in apps:
             base = measure_cost(
-                app, chip, FencingStrategy.NONE, runs=runs, seed=seed
+                app, chip, FencingStrategy.NONE, runs=runs, seed=seed,
+                ledger=ledger,
             )
             for strategy in (
                 FencingStrategy.EMPIRICAL,
@@ -62,7 +66,8 @@ def figure5_points(
                 if empirical is not None:
                     emp = empirical.get((chip.short_name, app.name))
                 fenced = measure_cost(
-                    app, chip, strategy, runs=runs, seed=seed, empirical=emp
+                    app, chip, strategy, runs=runs, seed=seed,
+                    empirical=emp, ledger=ledger,
                 )
                 points.append(
                     CostPoint(

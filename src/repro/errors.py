@@ -71,3 +71,38 @@ class InvalidStressConfigError(ReproError):
 
 class FenceInsertionError(ReproError):
     """Empirical fence insertion could not converge (paper: 24h timeout)."""
+
+
+class CostMeasurementError(ReproError):
+    """Cost measurement could not gather enough passing native runs.
+
+    Raised when the Sec. 6 retry loop exhausts its attempt budget before
+    accumulating the requested number of post-condition-passing
+    executions — the simulated analogue of a native binary that fails
+    too often to be timed.
+    """
+
+    def __init__(self, app: str, chip: str, attempts: int, passing: int):
+        self.app = app
+        self.chip = chip
+        self.attempts = attempts
+        self.passing = passing
+        super().__init__(
+            f"too many erroneous native runs for {app} on {chip}: only "
+            f"{passing} passing runs in {attempts} attempts; cannot "
+            "measure cost"
+        )
+
+
+class LedgerError(ReproError):
+    """A run-ledger operation failed (missing directory, bad manifest)."""
+
+
+class LedgerCorruptError(LedgerError):
+    """A ledger segment contains corruption beyond a truncated tail.
+
+    A killed writer may leave a partial final line in its segment —
+    readers tolerate that.  Anything else (garbage mid-file, a record
+    without its required fields) indicates real damage and is refused
+    rather than silently dropped.
+    """

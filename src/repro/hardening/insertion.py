@@ -41,7 +41,12 @@ from .fence_sets import all_fences, split_fences, sorted_sites
 
 @dataclass(frozen=True)
 class InsertionResult:
-    """Outcome of empirical fence insertion for one chip/application."""
+    """Outcome of empirical fence insertion for one chip/application.
+
+    ``iterations_used`` is the per-candidate iteration count ``I`` of
+    the *last reduction pass actually run* — the budget that produced
+    ``reduced`` — whether or not that pass converged.
+    """
 
     chip: str
     app: str
@@ -210,29 +215,42 @@ class EmpiricalFenceInserter:
 
     # -- Algorithm 1 -------------------------------------------------------
     def run(self, initial_iterations: int = 32) -> InsertionResult:
+        """Binary + linear reduction with the stability restart loop.
+
+        Exhausting every restart is a legitimate outcome (the paper's
+        24-hour timeout): the best candidate is returned with
+        ``converged=False`` so callers — and the run ledger — can
+        record the partial result.  Only the degenerate configuration
+        ``max_restarts <= 0``, where the reduction loop would never
+        run at all, raises.
+        """
+        if self.max_restarts <= 0:
+            raise FenceInsertionError(
+                f"fence insertion for {self.app.name} on "
+                f"{self.chip.short_name} needs max_restarts >= 1 "
+                f"(got {self.max_restarts}); the reduction loop would "
+                "never run"
+            )
         started = time.perf_counter()
         initial = all_fences(self.app)
         iterations = initial_iterations
         converged = False
         reduced = initial
+        iterations_used = initial_iterations
         for _ in range(self.max_restarts):
+            iterations_used = iterations
             after_binary = self.binary_reduction(initial, iterations)
             reduced = self.linear_reduction(after_binary, iterations)
             if self.empirically_stable(reduced):
                 converged = True
                 break
             iterations *= 2
-        if not converged and self.max_restarts <= 0:
-            raise FenceInsertionError(
-                f"fence insertion for {self.app.name} on "
-                f"{self.chip.short_name} did not converge"
-            )
         return InsertionResult(
             chip=self.chip.short_name,
             app=self.app.name,
             initial_fences=len(initial),
             reduced=reduced,
-            iterations_used=iterations,
+            iterations_used=iterations_used,
             check_runs=self.check_runs,
             wall_seconds=time.perf_counter() - started,
             converged=converged,
@@ -245,15 +263,37 @@ def empirical_fence_insertion(
     scale: Scale = DEFAULT,
     seed: int = 0,
     initial_iterations: int = 32,
+    max_restarts: int = 4,
     parallel: ParallelConfig | None = None,
+    ledger=None,
 ) -> InsertionResult:
     """Run Algorithm 1 for one application on one chip.
 
     ``parallel`` shards every candidate fence-set evaluation across
     worker processes; the reduction path and final fence set are
     identical to a serial run (see ``check_application``).
+
+    ``ledger`` (a :class:`~repro.store.RunLedger`) caches the whole
+    insertion result: a recorded (chip, app, scale, seed) key is
+    decoded instead of re-run, and a fresh run is appended atomically —
+    unconverged outcomes included, so long campaigns never repeat a
+    finished reduction.
     """
-    inserter = EmpiricalFenceInserter(
-        app, chip, scale=scale, seed=seed, parallel=parallel
+    from ..store import cached_or_run, insertion_key, records as store_records
+
+    key = insertion_key(
+        chip.short_name, app.name, scale.stability_runs,
+        initial_iterations, max_restarts, seed,
     )
-    return inserter.run(initial_iterations=initial_iterations)
+
+    def run() -> InsertionResult:
+        inserter = EmpiricalFenceInserter(
+            app, chip, scale=scale, seed=seed,
+            max_restarts=max_restarts, parallel=parallel,
+        )
+        return inserter.run(initial_iterations=initial_iterations)
+
+    return cached_or_run(
+        ledger, key, run,
+        store_records.encode_insertion, store_records.decode_insertion,
+    )

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 
 from ..errors import ReproError
@@ -104,6 +104,7 @@ def parallel_map(
     fn: Callable,
     items: Iterable,
     config: ParallelConfig = SERIAL,
+    on_result: Callable[[int, object], None] | None = None,
 ) -> list:
     """Apply ``fn`` to every item, preserving input order.
 
@@ -112,13 +113,47 @@ def parallel_map(
     dispatched to a process pool in chunks; ``fn`` must be defined at
     module level and every item must be picklable (pass registry-backed
     specs, not live engines).
+
+    ``on_result(index, result)`` is invoked in the parent process as
+    each result becomes available — the hook the run ledger uses to
+    checkpoint completed shards before the full map finishes.  Under a
+    serial configuration the callback fires in input order; under a
+    process pool it fires per completed *chunk* in completion order
+    (never input order), so a slow early chunk cannot delay the
+    checkpointing of finished later ones.  The callback cannot alter
+    the returned results; an exception it raises aborts the map
+    (results already reported stay reported, which is exactly the
+    at-least-this-much durability a checkpoint stream wants).
     """
     work: Sequence = items if isinstance(items, Sequence) else list(items)
     if config.serial or len(work) <= 1:
-        return [fn(item) for item in work]
+        out = []
+        for index, item in enumerate(work):
+            result = fn(item)
+            if on_result is not None:
+                on_result(index, result)
+            out.append(result)
+        return out
     workers = min(config.resolve_jobs(), len(work))
     chunksize = max(
         1, len(work) // (workers * config.chunks_per_job)
     )
+    out: list = [None] * len(work)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, work, chunksize=chunksize))
+        futures = {
+            pool.submit(_apply_chunk, fn, work[start:start + chunksize]):
+                start
+            for start in range(0, len(work), chunksize)
+        }
+        for future in as_completed(futures):
+            start = futures[future]
+            for offset, result in enumerate(future.result()):
+                if on_result is not None:
+                    on_result(start + offset, result)
+                out[start + offset] = result
+    return out
+
+
+def _apply_chunk(fn: Callable, chunk: Sequence) -> list:
+    """Worker-side body of one :func:`parallel_map` chunk."""
+    return [fn(item) for item in chunk]

@@ -7,9 +7,18 @@ so every artefact of the paper is regenerable from one entry point:
 
 >>> from repro.reporting.experiments import run_experiment
 >>> print(run_experiment("table1"))              # doctest: +SKIP
+
+Every experiment accepts a :class:`~repro.store.RunLedger` (CLI:
+``--out DIR`` / ``--resume DIR``).  Results stream into the ledger as
+they complete, already-ledgered keys are decoded instead of re-run, and
+a ledger holding every key of an experiment regenerates the table or
+figure with **zero** simulation runs — the paper's own workflow of
+deriving tables from archived campaign logs.
 """
 
 from __future__ import annotations
+
+import os
 
 from ..apps.registry import all_applications, table4_rows
 from ..chips.registry import all_chips, get_chip, table1_rows
@@ -18,8 +27,11 @@ from ..hardening.insertion import empirical_fence_insertion
 from ..litmus.runner import run_litmus
 from ..litmus.tests import ALL_TESTS, TUNING_TESTS, get_test
 from ..stress.strategies import NoStress, TunedStress
+from ..errors import LedgerError
 from ..parallel import ParallelConfig, resolve_config
 from ..scale import DEFAULT, Scale, get_scale
+from ..store import RunLedger, litmus_key, stress_token
+from ..store import records as store_records
 from ..stress.environment import ENVIRONMENT_ORDER
 from ..stress.sequences import format_sequence
 from ..testing.campaign import run_campaign
@@ -36,6 +48,7 @@ def table1(
     scale: Scale = DEFAULT,
     seed: int = 0,
     parallel: ParallelConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> str:
     """Table 1: the seven studied GPUs."""
     return render_table(
@@ -48,12 +61,15 @@ def figure3(
     seed: int = 0,
     chips: tuple[str, ...] = ("Titan", "C2075", "980"),
     parallel: ParallelConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> str:
     """Figure 3: patch finding bar strips for MP and LB."""
     out = []
     for name in chips:
         chip = get_chip(name)
-        scan = scan_patches(chip, scale, seed, parallel=parallel)
+        scan = scan_patches(
+            chip, scale, seed, parallel=parallel, ledger=ledger
+        )
         patch, _per_test = critical_patch_size(scan)
         out.append(
             f"Figure 3 ({chip.name}): critical patch size {patch} "
@@ -76,6 +92,7 @@ def table2(
     seed: int = 0,
     chips: tuple[str, ...] | None = None,
     parallel: ParallelConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> str:
     """Table 2: tuned stressing parameters per chip (full pipeline)."""
     rows = []
@@ -83,7 +100,9 @@ def table2(
         c.short_name for c in all_chips()
     )
     for name in names:
-        result = tune_chip(get_chip(name), scale, seed, parallel=parallel)
+        result = tune_chip(
+            get_chip(name), scale, seed, parallel=parallel, ledger=ledger
+        )
         row = result.table2_row()
         truth = shipped_params(name)
         row["matches paper"] = (
@@ -106,11 +125,13 @@ def table3(
     seed: int = 0,
     chip: str = "Titan",
     parallel: ParallelConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> str:
     """Table 3: access-sequence ranking snippet for Titan."""
     profile = get_chip(chip)
     scores = score_sequences(
-        profile, profile.patch_size, scale, seed, parallel=parallel
+        profile, profile.patch_size, scale, seed, parallel=parallel,
+        ledger=ledger,
     )
     best = select_sequence(scores)
     out = [
@@ -127,6 +148,7 @@ def figure4(
     seed: int = 0,
     chips: tuple[str, ...] = ("980", "K20"),
     parallel: ParallelConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> str:
     """Figure 4: spread-finding score curves."""
     out = []
@@ -134,7 +156,7 @@ def figure4(
         chip = get_chip(name)
         scores = score_spreads(
             chip, chip.patch_size, chip.best_sequence, scale, seed,
-            parallel=parallel,
+            parallel=parallel, ledger=ledger,
         )
         series = {
             test.name: [
@@ -159,6 +181,7 @@ def table4(
     scale: Scale = DEFAULT,
     seed: int = 0,
     parallel: ParallelConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> str:
     """Table 4: the application case studies."""
     return render_table(
@@ -172,6 +195,7 @@ def table5(
     chips: tuple[str, ...] | None = None,
     environments: tuple[str, ...] | None = None,
     parallel: ParallelConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> str:
     """Table 5: testing-environment effectiveness grid."""
     chip_objs = [
@@ -181,7 +205,7 @@ def table5(
     env_names = list(environments or ENVIRONMENT_ORDER)
     cells = run_campaign(
         chip_objs, environments=env_names, scale=scale, seed=seed,
-        parallel=parallel,
+        parallel=parallel, ledger=ledger,
     )
     table = table5_summary(cells)
     rows = []
@@ -206,6 +230,7 @@ def table6(
     chip: str = "Titan",
     apps: tuple[str, ...] | None = None,
     parallel: ParallelConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> str:
     """Table 6: empirical fence insertion results."""
     from ..apps.registry import fence_free_applications, get_application
@@ -218,7 +243,8 @@ def table6(
     rows = []
     for app in targets:
         result = empirical_fence_insertion(
-            app, get_chip(chip), scale=scale, seed=seed, parallel=parallel
+            app, get_chip(chip), scale=scale, seed=seed,
+            parallel=parallel, ledger=ledger,
         )
         row = result.table6_row()
         row["reduced fences"] = ", ".join(sorted(result.reduced))
@@ -233,6 +259,7 @@ def figure5(
     seed: int = 0,
     chips: tuple[str, ...] | None = None,
     parallel: ParallelConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> str:
     # Cost measurement (Sec. 6) repeats runs until enough *passing*
     # executions accumulate, a sequentially dependent loop; it stays
@@ -243,7 +270,10 @@ def figure5(
         for c in (chips or tuple(c.short_name for c in all_chips()))
     ]
     apps = [a for a in all_applications() if not a.name.endswith("-nf")]
-    points = figure5_points(apps, chip_objs, runs=max(5, scale.campaign_runs // 4), seed=seed)
+    points = figure5_points(
+        apps, chip_objs, runs=max(5, scale.campaign_runs // 4),
+        seed=seed, ledger=ledger,
+    )
     rows = []
     for p in points:
         rows.append(
@@ -281,6 +311,7 @@ def survey(
     chips: tuple[str, ...] = ("K20", "Titan", "980"),
     tests: tuple[str, ...] | None = None,
     parallel: ParallelConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> str:
     """Extended litmus survey: the full test family across chips.
 
@@ -296,26 +327,51 @@ def survey(
     )
     executions = max(20, scale.executions)
     chip_objs = [get_chip(c) for c in chips]
+    checkpoint = ledger.writer() if ledger is not None else None
+
+    def ledgered_litmus(chip, test, distance, spec):
+        key = litmus_key(
+            chip.short_name, test.name, stress_token(spec), distance,
+            executions, seed,
+        )
+        if ledger is not None:
+            record = ledger.get(key)
+            if record is not None:
+                return store_records.decode_litmus(record)
+        result = run_litmus(
+            chip, test, distance, spec, executions,
+            seed=seed, parallel=parallel,
+        )
+        if checkpoint is not None:
+            checkpoint.write(
+                store_records.encode_litmus(
+                    key, result, chip=chip.short_name, seed=seed
+                )
+            )
+        return result
+
     rows = []
-    for test in selected:
-        row: dict[str, object] = {
-            "test": test.name,
-            "threads": test.n_threads,
-        }
-        for chip in chip_objs:
-            distance = 2 * chip.patch_size
-            native = run_litmus(
-                chip, test, distance, NoStress(), executions,
-                seed=seed, parallel=parallel,
-            )
-            tuned = run_litmus(
-                chip, test, distance,
-                TunedStress(shipped_params(chip.short_name)),
-                executions, seed=seed, parallel=parallel,
-            )
-            row[f"{chip.short_name} no-str"] = native.weak
-            row[f"{chip.short_name} sys-str"] = tuned.weak
-        rows.append(row)
+    try:
+        for test in selected:
+            row: dict[str, object] = {
+                "test": test.name,
+                "threads": test.n_threads,
+            }
+            for chip in chip_objs:
+                distance = 2 * chip.patch_size
+                native = ledgered_litmus(
+                    chip, test, distance, NoStress()
+                )
+                tuned = ledgered_litmus(
+                    chip, test, distance,
+                    TunedStress(shipped_params(chip.short_name)),
+                )
+                row[f"{chip.short_name} no-str"] = native.weak
+                row[f"{chip.short_name} sys-str"] = tuned.weak
+            rows.append(row)
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
     return render_table(
         rows,
         title=(
@@ -339,11 +395,36 @@ EXPERIMENTS = {
 }
 
 
+def open_ledger(
+    out: str | None = None, resume: str | None = None
+) -> RunLedger | None:
+    """Resolve the ``--out`` / ``--resume`` pair to a ledger (or None).
+
+    ``resume`` opens an existing ledger (an error when absent, so typos
+    never silently start a cold run); ``out`` opens or creates one.
+    Passing both is allowed when they name the same directory.
+    """
+    if out is not None and resume is not None and (
+        os.path.abspath(out) != os.path.abspath(resume)
+    ):
+        raise LedgerError(
+            f"--out {out!r} and --resume {resume!r} name different "
+            "directories; a run reads and writes one ledger"
+        )
+    if resume is not None:
+        return RunLedger.open(resume)
+    if out is not None:
+        return RunLedger.open_or_create(out)
+    return None
+
+
 def run_experiment(
     name: str,
     scale: str | Scale = "smoke",
     seed: int = 0,
     jobs: int | None = None,
+    out: str | None = None,
+    resume: str | None = None,
     **kwargs,
 ) -> str:
     """Regenerate one paper artefact by id (see ``EXPERIMENTS``).
@@ -351,6 +432,12 @@ def run_experiment(
     ``jobs`` shards the experiment's run loops over worker processes
     (``0`` = one per CPU); the regenerated artefact is identical at any
     job count.  ``None`` defers to the scale's ``jobs`` knob.
+
+    ``out`` / ``resume`` attach a run ledger (see :mod:`repro.store`):
+    completed results persist as they stream in, already-ledgered keys
+    are never re-simulated, and a complete ledger regenerates the
+    artefact without a single simulation run — interrupted campaigns
+    resume bit-identically.
     """
     if isinstance(scale, str):
         scale = get_scale(scale)
@@ -363,4 +450,7 @@ def run_experiment(
     parallel = resolve_config(
         ParallelConfig(jobs=jobs) if jobs is not None else None, scale
     )
-    return fn(scale=scale, seed=seed, parallel=parallel, **kwargs)
+    ledger = open_ledger(out, resume)
+    return fn(
+        scale=scale, seed=seed, parallel=parallel, ledger=ledger, **kwargs
+    )

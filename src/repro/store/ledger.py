@@ -1,0 +1,276 @@
+"""The append-only, crash-safe JSONL run ledger.
+
+A ledger is a directory::
+
+    ledger/
+      manifest.json      # format version + free-form metadata
+      seg-000001.jsonl   # one RunRecord per line
+      seg-000002.jsonl
+      ...
+
+Durability model (single writer at a time):
+
+* **Atomic batch appends** (:meth:`RunLedger.append`) write a complete
+  new segment to a temporary file, fsync it, and ``os.replace`` it into
+  place — the segment is either fully present or absent.
+* **Incremental checkpoint streams** (:meth:`RunLedger.writer`) append
+  one line per record to a fresh segment, flushing and fsyncing as they
+  go.  A writer killed mid-line leaves a truncated tail, which readers
+  *tolerate* (the partial record is dropped); corruption anywhere else
+  in a segment raises :class:`~repro.errors.LedgerCorruptError` rather
+  than silently losing data.
+* The manifest is written via the same write-temp-then-rename dance.
+
+Records are keyed by their deterministic content key (see
+:mod:`repro.store.records`); on duplicate keys the latest record wins,
+so re-running an experiment over an existing ledger is idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+from ..errors import LedgerCorruptError, LedgerError
+from .records import RunRecord
+
+#: On-disk format version, recorded in the manifest.
+LEDGER_FORMAT = 1
+
+MANIFEST_NAME = "manifest.json"
+_SEGMENT_PREFIX = "seg-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush directory metadata (the rename itself) to disk."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp + fsync + rename)."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+class LedgerWriter:
+    """An incremental checkpoint stream into one fresh segment.
+
+    Use via ``with ledger.writer() as w: w.write(record)``.  Every
+    ``write`` lands one complete JSON line and fsyncs, so at any kill
+    point the segment holds every fully written record plus at most one
+    truncated tail line.  An exited writer that wrote nothing removes
+    its empty segment.
+    """
+
+    def __init__(self, ledger: "RunLedger", path: Path):
+        self._ledger = ledger
+        self._path = path
+        self._handle = open(path, "w", encoding="utf-8")
+        self._written = 0
+
+    def write(self, record: RunRecord) -> None:
+        self._handle.write(json.dumps(record.to_json()) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._written += 1
+        self._ledger._absorb(record)
+
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        self._handle.close()
+        if self._written == 0:
+            # Nothing durable to keep; do not litter empty segments.
+            try:
+                self._path.unlink()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "LedgerWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RunLedger:
+    """Query and append interface over one ledger directory."""
+
+    def __init__(self, root: Path | str, manifest: dict):
+        self.root = Path(root)
+        self.manifest = manifest
+        self._records: dict[str, RunRecord] = {}
+        for path in self._segment_paths():
+            for record in _read_segment(path):
+                self._absorb(record)
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def create(cls, root: Path | str, meta: dict | None = None) -> "RunLedger":
+        """Initialise a fresh ledger directory (must not already hold one)."""
+        root = Path(root)
+        if (root / MANIFEST_NAME).exists():
+            raise LedgerError(f"ledger already exists at {root}")
+        root.mkdir(parents=True, exist_ok=True)
+        manifest = {"format": LEDGER_FORMAT, **(meta or {})}
+        _atomic_write(
+            root / MANIFEST_NAME, json.dumps(manifest, indent=2) + "\n"
+        )
+        return cls(root, manifest)
+
+    @classmethod
+    def open(cls, root: Path | str) -> "RunLedger":
+        """Open an existing ledger; :class:`LedgerError` when absent."""
+        root = Path(root)
+        manifest_path = root / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise LedgerError(
+                f"no run ledger at {root} (missing {MANIFEST_NAME}); "
+                "create one with --out or RunLedger.create"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LedgerCorruptError(
+                f"unreadable ledger manifest at {manifest_path}: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict) or "format" not in manifest:
+            raise LedgerCorruptError(
+                f"ledger manifest at {manifest_path} lacks a format field"
+            )
+        if manifest["format"] != LEDGER_FORMAT:
+            raise LedgerError(
+                f"ledger at {root} uses format {manifest['format']}; "
+                f"this library reads format {LEDGER_FORMAT}"
+            )
+        return cls(root, manifest)
+
+    @classmethod
+    def open_or_create(
+        cls, root: Path | str, meta: dict | None = None
+    ) -> "RunLedger":
+        """Open the ledger at ``root``, creating it when absent."""
+        if (Path(root) / MANIFEST_NAME).exists():
+            return cls.open(root)
+        return cls.create(root, meta)
+
+    # -- query API ------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> set[str]:
+        return set(self._records)
+
+    def get(self, key: str) -> RunRecord | None:
+        return self._records.get(key)
+
+    def records(self, kind: str | None = None, **filters) -> list[RunRecord]:
+        """Records in insertion order, filtered by kind and payload
+        fields (``records(kind="campaign", chip="K20")``)."""
+        out = []
+        for record in self._records.values():
+            if kind is not None and record.kind != kind:
+                continue
+            if any(
+                record.payload.get(field) != value
+                for field, value in filters.items()
+            ):
+                continue
+            out.append(record)
+        return out
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self._records.values():
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+    # -- append API -----------------------------------------------------
+    def append(self, *records: RunRecord) -> None:
+        """Atomically append ``records`` as one new segment."""
+        if not records:
+            return
+        path = self._next_segment_path()
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record.to_json()) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(self.root)
+        for record in records:
+            self._absorb(record)
+
+    def writer(self) -> LedgerWriter:
+        """An incremental per-record checkpoint stream (see module doc)."""
+        return LedgerWriter(self, self._next_segment_path())
+
+    # -- internals ------------------------------------------------------
+    def _absorb(self, record: RunRecord) -> None:
+        self._records[record.key] = record
+
+    def _segment_paths(self) -> list[Path]:
+        return sorted(
+            p
+            for p in self.root.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}")
+            if p.is_file()
+        )
+
+    def _next_segment_path(self) -> Path:
+        highest = 0
+        for path in self._segment_paths():
+            stem = path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+            try:
+                highest = max(highest, int(stem))
+            except ValueError:
+                continue
+        return self.root / (
+            f"{_SEGMENT_PREFIX}{highest + 1:06d}{_SEGMENT_SUFFIX}"
+        )
+
+
+def _read_segment(path: Path) -> Iterator[RunRecord]:
+    """Parse one segment, tolerating only a truncated final line."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LedgerCorruptError(
+            f"unreadable ledger segment {path}: {exc}"
+        ) from exc
+    lines = text.split("\n")
+    # A complete segment ends with a newline, leaving one empty trailer.
+    if lines and lines[-1] == "":
+        lines.pop()
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            obj = json.loads(line)
+            record = RunRecord.from_json(obj)
+        except (json.JSONDecodeError, ValueError) as exc:
+            if lineno == len(lines) and not text.endswith("\n"):
+                # Truncated tail from a killed writer: drop it.
+                return
+            raise LedgerCorruptError(
+                f"corrupt record at {path}:{lineno}: {exc}"
+            ) from exc
+        yield record

@@ -1,0 +1,358 @@
+"""Ledger records: content keys and the domain-object codecs.
+
+A :class:`RunRecord` is one JSONL line of the run ledger: a record
+``kind``, a deterministic content ``key`` and a JSON-safe ``payload``
+from which the original domain object is reconstructed exactly.  Four
+result kinds cover the experiment layers —
+
+* ``litmus``    — a :class:`~repro.litmus.results.LitmusResult`
+  (survey runs and the tuning-grid points);
+* ``campaign``  — a :class:`~repro.testing.campaign.CampaignCell`;
+* ``insertion`` — a :class:`~repro.hardening.insertion.InsertionResult`;
+* ``cost``      — a :class:`~repro.costs.measure.CostMeasurement`;
+
+plus the checkpoint kind ``campaign-shard`` carrying one
+:class:`~repro.parallel.merge.CellShard` worth of partial-cell
+statistics, so an interrupted campaign resumes mid-cell.
+
+Content keys are pure functions of ``(kind, chip, subject, environment,
+scale, seed, backend)`` — everything that determines a result under the
+global-index seeding contract — so "is this already computed?" is a set
+lookup, and replaying only the missing keys reproduces a cold run bit
+for bit.
+
+This module deliberately imports no domain types at module level (the
+domain layers import it); decoders resolve their classes lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Separator between the fixed key fields.
+_SEP = ":"
+
+
+def _clean(value: object) -> str:
+    """One key field: colons and whitespace normalised away."""
+    return str(value).replace(_SEP, "_").replace(" ", "-")
+
+
+def content_key(
+    kind: str,
+    chip: str,
+    subject: str,
+    environment: str,
+    scale: str,
+    seed: int,
+    backend: str = "direct",
+) -> str:
+    """The deterministic identity of one ledgered result.
+
+    ``subject`` is the application or litmus-test name; ``environment``
+    describes the stressing conditions (a testing-environment name, a
+    stress-spec token or a fencing strategy); ``scale`` captures the
+    sample-size knobs that shaped the result (run/execution counts,
+    grid coordinates).
+    """
+    return _SEP.join(
+        _clean(part)
+        for part in (kind, chip, subject, environment, scale, f"s{seed}",
+                     backend)
+    )
+
+
+def stress_token(spec: object) -> str:
+    """A stable key token for a stressing strategy instance."""
+    name = type(spec).__name__
+    if name == "NoStress":
+        return "no-str"
+    if name == "FixedLocationStress":
+        locs = ".".join(str(l) for l in spec.locations)
+        return f"fix.l{locs}.{'-'.join(spec.sequence)}"
+    if name == "TunedStress":
+        c = spec.config
+        return (
+            f"sys-str.{c.chip}.p{c.patch_size}.{'-'.join(c.sequence)}"
+            f".m{c.spread}.r{c.scratch_regions}"
+        )
+    if name == "RandomStress":
+        return "rand-str"
+    if name == "CacheStress":
+        return "cache-str"
+    return _clean(name.lower())
+
+
+# -- key builders (one per record kind) --------------------------------
+
+def litmus_key(
+    chip: str,
+    test: str,
+    stress: str,
+    distance: int,
+    executions: int,
+    seed: int,
+    backend: str = "direct",
+    randomise: bool = False,
+) -> str:
+    return content_key(
+        "litmus", chip, test, stress,
+        f"d{distance}.x{executions}.rnd{int(randomise)}", seed, backend,
+    )
+
+
+def campaign_cell_key(
+    chip: str, app: str, environment: str, runs: int, seed: int
+) -> str:
+    return content_key(
+        "campaign", chip, app, environment, f"r{runs}", seed, "engine"
+    )
+
+
+def campaign_shard_key(
+    chip: str, app: str, environment: str, runs: int, seed: int,
+    start: int, stop: int,
+) -> str:
+    return content_key(
+        "campaign-shard", chip, app, environment,
+        f"r{runs}.{start}-{stop}", seed, "engine",
+    )
+
+
+def insertion_key(
+    chip: str, app: str, stability_runs: int, initial_iterations: int,
+    max_restarts: int, seed: int,
+) -> str:
+    return content_key(
+        "insertion", chip, app, "sys-str+",
+        f"st{stability_runs}.it{initial_iterations}.mr{max_restarts}",
+        seed, "engine",
+    )
+
+
+def cost_key(
+    chip: str, app: str, strategy: str, runs: int, seed: int,
+    fences: frozenset[str] | None = None,
+) -> str:
+    env = _clean(strategy)
+    if fences is not None:
+        env += ".f" + ("+".join(sorted(fences)) or "none")
+    return content_key("cost", chip, app, env, f"r{runs}", seed, "engine")
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One ledger line: ``{"key": ..., "kind": ..., "payload": {...}}``."""
+
+    key: str
+    kind: str
+    payload: dict[str, Any]
+
+    @classmethod
+    def from_json(cls, obj: object) -> "RunRecord":
+        if (
+            not isinstance(obj, dict)
+            or not isinstance(obj.get("key"), str)
+            or not isinstance(obj.get("kind"), str)
+            or not isinstance(obj.get("payload"), dict)
+        ):
+            raise ValueError(f"malformed ledger record: {obj!r}")
+        return cls(key=obj["key"], kind=obj["kind"], payload=obj["payload"])
+
+    def to_json(self) -> dict[str, Any]:
+        return {"key": self.key, "kind": self.kind, "payload": self.payload}
+
+
+# -- codecs ------------------------------------------------------------
+
+def encode_litmus(
+    key: str, result, chip: str | None = None, seed: int | None = None
+) -> RunRecord:
+    """``chip`` and ``seed`` are not part of :class:`LitmusResult`, but
+    callers know them and queries want to filter on them — store them
+    alongside the result fields."""
+    return RunRecord(
+        key=key,
+        kind="litmus",
+        payload={
+            "chip": chip,
+            "seed": seed,
+            "test": result.test,
+            "distance": result.distance,
+            "weak": result.weak,
+            "executions": result.executions,
+            "location": list(result.location),
+            "backend": result.backend,
+        },
+    )
+
+
+def decode_litmus(record: RunRecord):
+    from ..litmus.results import LitmusResult
+
+    p = record.payload
+    return LitmusResult(
+        test=p["test"],
+        distance=p["distance"],
+        weak=p["weak"],
+        executions=p["executions"],
+        location=tuple(p["location"]),
+        backend=p["backend"],
+    )
+
+
+def encode_campaign_cell(key: str, cell) -> RunRecord:
+    return RunRecord(
+        key=key,
+        kind="campaign",
+        payload={
+            "chip": cell.chip,
+            "app": cell.app,
+            "environment": cell.environment,
+            "errors": cell.errors,
+            "timeouts": cell.timeouts,
+            "runs": cell.runs,
+        },
+    )
+
+
+def decode_campaign_cell(record: RunRecord):
+    from ..testing.campaign import CampaignCell
+
+    p = record.payload
+    return CampaignCell(
+        chip=p["chip"],
+        app=p["app"],
+        environment=p["environment"],
+        errors=p["errors"],
+        timeouts=p["timeouts"],
+        runs=p["runs"],
+    )
+
+
+def encode_campaign_shard(
+    key: str, chip: str, app: str, environment: str, runs: int, seed: int,
+    shard,
+) -> RunRecord:
+    """A partial-cell checkpoint.  Cell identity is stored by *name*
+    (never by grid index — resumed runs may filter the grid
+    differently)."""
+    return RunRecord(
+        key=key,
+        kind="campaign-shard",
+        payload={
+            "chip": chip,
+            "app": app,
+            "environment": environment,
+            "runs": runs,
+            "seed": seed,
+            "start": shard.start,
+            "stop": shard.stop,
+            "errors": shard.errors,
+            "timeouts": shard.timeouts,
+        },
+    )
+
+
+def decode_campaign_shard(record: RunRecord, cell: int = 0):
+    """Rebuild a :class:`CellShard`, re-homed onto ``cell`` (the grid
+    index of the *current* run, not the one that wrote the record)."""
+    from ..parallel.merge import CellShard
+
+    p = record.payload
+    return CellShard(
+        cell=cell,
+        start=p["start"],
+        stop=p["stop"],
+        errors=p["errors"],
+        timeouts=p["timeouts"],
+    )
+
+
+def encode_insertion(key: str, result) -> RunRecord:
+    return RunRecord(
+        key=key,
+        kind="insertion",
+        payload={
+            "chip": result.chip,
+            "app": result.app,
+            "initial_fences": result.initial_fences,
+            "reduced": sorted(result.reduced),
+            "iterations_used": result.iterations_used,
+            "check_runs": result.check_runs,
+            "wall_seconds": result.wall_seconds,
+            "converged": result.converged,
+        },
+    )
+
+
+def decode_insertion(record: RunRecord):
+    from ..hardening.insertion import InsertionResult
+
+    p = record.payload
+    return InsertionResult(
+        chip=p["chip"],
+        app=p["app"],
+        initial_fences=p["initial_fences"],
+        reduced=frozenset(p["reduced"]),
+        iterations_used=p["iterations_used"],
+        check_runs=p["check_runs"],
+        wall_seconds=p["wall_seconds"],
+        converged=p["converged"],
+    )
+
+
+def encode_cost(key: str, measurement) -> RunRecord:
+    return RunRecord(
+        key=key,
+        kind="cost",
+        payload={
+            "chip": measurement.chip,
+            "app": measurement.app,
+            "strategy": measurement.strategy.name,
+            "runtime_ms": measurement.runtime_ms,
+            "energy_j": measurement.energy_j,
+            "runs": measurement.runs,
+            "discarded": measurement.discarded,
+        },
+    )
+
+
+def decode_cost(record: RunRecord):
+    from ..costs.measure import CostMeasurement, FencingStrategy
+
+    p = record.payload
+    return CostMeasurement(
+        chip=p["chip"],
+        app=p["app"],
+        strategy=FencingStrategy[p["strategy"]],
+        runtime_ms=p["runtime_ms"],
+        energy_j=p["energy_j"],
+        runs=p["runs"],
+        discarded=p["discarded"],
+    )
+
+
+_DECODERS = {
+    "litmus": decode_litmus,
+    "campaign": decode_campaign_cell,
+    "campaign-shard": decode_campaign_shard,
+    "insertion": decode_insertion,
+    "cost": decode_cost,
+}
+
+#: Every record kind the ledger understands.
+RECORD_KINDS = tuple(_DECODERS)
+
+
+def decode(record: RunRecord):
+    """Reconstruct the domain object a record serialised."""
+    try:
+        decoder = _DECODERS[record.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown record kind {record.kind!r}; "
+            f"known: {', '.join(_DECODERS)}"
+        ) from None
+    return decoder(record)

@@ -1,0 +1,160 @@
+"""Resume helpers: read-through caching over ledgered work lists.
+
+The experiment layers all share one shape: a list of independent work
+items, each with a deterministic content key, fanned out with
+:func:`repro.parallel.parallel_map`.  :func:`ledgered_map` overlays a
+:class:`~repro.store.ledger.RunLedger` on that shape — already-ledgered
+keys are decoded instead of re-run, missing keys run and checkpoint as
+their results stream in — which, by the global-index seeding contract,
+reproduces a cold run bit for bit.
+
+The domain query wrappers at the bottom turn a ledger back into domain
+objects for the reporting layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..parallel import ParallelConfig, parallel_map
+from . import records as rec
+from .ledger import RunLedger
+
+
+def ledgered_map(
+    fn: Callable,
+    work: Sequence,
+    keys: Sequence[str],
+    config: ParallelConfig,
+    ledger: RunLedger | None,
+    encode: Callable[[str, object], rec.RunRecord],
+    decode: Callable[[rec.RunRecord], object],
+) -> list:
+    """``parallel_map`` with per-item ledger caching and checkpointing.
+
+    ``keys[i]`` is the content key of ``work[i]``.  Cached keys decode
+    from the ledger (zero simulation); the rest run through
+    ``parallel_map`` and each fresh result is written to the ledger the
+    moment it streams back — so a killed run loses at most the work in
+    flight, never completed items.  Without a ledger this is exactly
+    ``parallel_map(fn, work, config)``.
+    """
+    if len(work) != len(keys):
+        raise ValueError(
+            f"work/keys length mismatch: {len(work)} != {len(keys)}"
+        )
+    if ledger is None:
+        return parallel_map(fn, work, config)
+    results: list = [None] * len(work)
+    pending: list = []
+    pending_indices: list[int] = []
+    for i, key in enumerate(keys):
+        record = ledger.get(key)
+        if record is not None:
+            results[i] = decode(record)
+        else:
+            pending.append(work[i])
+            pending_indices.append(i)
+    if pending:
+        with ledger.writer() as checkpoint:
+
+            def on_result(j: int, value: object) -> None:
+                checkpoint.write(encode(keys[pending_indices[j]], value))
+
+            fresh = parallel_map(fn, pending, config, on_result=on_result)
+        for j, value in zip(pending_indices, fresh):
+            results[j] = value
+    return results
+
+
+def ledgered_litmus_counts(
+    fn: Callable,
+    work: Sequence,
+    keys: Sequence[str],
+    points: Sequence[tuple[str, int, tuple[int, ...]]],
+    executions: int,
+    config: ParallelConfig,
+    ledger: RunLedger | None,
+    chip: str,
+    seed: int,
+) -> list:
+    """:func:`ledgered_map` specialised to the tuning grids.
+
+    The tuning stages fan out workers that return bare weak counts;
+    ``points[i] = (test name, distance, stressed locations)`` supplies
+    the remaining coordinates so each count persists as a full
+    ``litmus`` record and decodes back to its weak count on resume.
+    """
+    if ledger is None:
+        return parallel_map(fn, work, config)
+    from ..litmus.results import LitmusResult
+
+    by_key = dict(zip(keys, points))
+
+    def encode(key: str, weak: int) -> rec.RunRecord:
+        test_name, distance, location = by_key[key]
+        return rec.encode_litmus(
+            key,
+            LitmusResult(
+                test=test_name, distance=distance, weak=weak,
+                executions=executions, location=location,
+            ),
+            chip=chip, seed=seed,
+        )
+
+    def decode(record: rec.RunRecord) -> int:
+        return rec.decode_litmus(record).weak
+
+    return ledgered_map(fn, work, keys, config, ledger, encode, decode)
+
+
+def cached_or_run(
+    ledger: RunLedger | None,
+    key: str,
+    run: Callable[[], object],
+    encode: Callable[[str, object], rec.RunRecord],
+    decode: Callable[[rec.RunRecord], object],
+):
+    """One-item read-through cache for monolithic results (an insertion
+    run, a cost measurement): decode when ledgered, otherwise run and
+    atomically append."""
+    if ledger is not None:
+        record = ledger.get(key)
+        if record is not None:
+            return decode(record)
+    result = run()
+    if ledger is not None:
+        ledger.append(encode(key, result))
+    return result
+
+
+# -- domain queries ----------------------------------------------------
+
+def litmus_results(ledger: RunLedger, **filters) -> list:
+    """Every ledgered :class:`LitmusResult` (payload-field filters)."""
+    return [
+        rec.decode_litmus(r) for r in ledger.records("litmus", **filters)
+    ]
+
+
+def campaign_cells(ledger: RunLedger, **filters) -> list:
+    """Every ledgered :class:`CampaignCell` (payload-field filters)."""
+    return [
+        rec.decode_campaign_cell(r)
+        for r in ledger.records("campaign", **filters)
+    ]
+
+
+def insertion_results(ledger: RunLedger, **filters) -> list:
+    """Every ledgered :class:`InsertionResult`."""
+    return [
+        rec.decode_insertion(r)
+        for r in ledger.records("insertion", **filters)
+    ]
+
+
+def cost_measurements(ledger: RunLedger, **filters) -> list:
+    """Every ledgered :class:`CostMeasurement`."""
+    return [
+        rec.decode_cost(r) for r in ledger.records("cost", **filters)
+    ]

@@ -5,6 +5,13 @@ repeatedly for one hour and records erroneous runs.  Here the wall-clock
 budget is replaced by a run count (``Scale.campaign_runs``); the derived
 statistics — error rate and the >5% *effectiveness* threshold — are the
 same.
+
+With a :class:`~repro.store.RunLedger` the campaign becomes durable and
+resumable: every completed shard checkpoints into the ledger the moment
+it streams back, finished cells are recorded whole, and a re-run over
+the same ledger replays only the missing run ranges.  Because run ``i``
+of a cell always draws from the seed stream derived from its *global*
+index, the resumed statistics are bit-identical to a cold run.
 """
 
 from __future__ import annotations
@@ -24,6 +31,8 @@ from ..parallel import (
 )
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
+from ..store import records as store_records
+from ..store.ledger import RunLedger
 from ..stress.environment import TestingEnvironment, standard_environments
 from ..tuning.pipeline import shipped_params
 
@@ -70,6 +79,149 @@ def _cell_shard(args: tuple) -> CellShard:
     )
 
 
+def _missing_ranges(
+    covered: list[tuple[int, int]], runs: int
+) -> list[tuple[int, int]]:
+    """Complement of sorted disjoint ``covered`` ranges within
+    ``[0, runs)`` — the run indices a resumed cell still owes."""
+    out = []
+    position = 0
+    for start, stop in covered:
+        if start > position:
+            out.append((position, start))
+        position = max(position, stop)
+    if position < runs:
+        out.append((position, runs))
+    return out
+
+
+def _ledgered_shards(
+    ledger: RunLedger,
+    chip: HardwareProfile,
+    app: Application,
+    env: TestingEnvironment,
+    runs: int,
+    seed: int,
+    cell: int,
+) -> list[CellShard]:
+    """Checkpointed shards of one cell, re-homed onto grid index
+    ``cell`` and reduced to a sorted non-overlapping set.
+
+    Shards written at a different worker count can overlap; overlapping
+    records are discarded (their ranges simply re-run) because partial
+    counts cannot be split exactly.
+    """
+    decoded = [
+        store_records.decode_campaign_shard(record, cell=cell)
+        for record in ledger.records(
+            "campaign-shard",
+            chip=chip.short_name,
+            app=app.name,
+            environment=env.name,
+            runs=runs,
+            seed=seed,
+        )
+    ]
+    kept: list[CellShard] = []
+    end = 0
+    for shard in sorted(decoded, key=lambda s: s.start):
+        if shard.start >= end and shard.stop <= runs:
+            kept.append(shard)
+            end = shard.stop
+    return kept
+
+
+def _run_grid(
+    grid: list[tuple[HardwareProfile, Application, TestingEnvironment]],
+    runs: int,
+    seed: int,
+    config: ParallelConfig,
+    ledger: RunLedger | None,
+) -> list[CampaignCell]:
+    """Run (or resume) every cell of ``grid`` for ``runs`` executions.
+
+    The whole grid is flattened into (cell × run chunk) shards and
+    dispatched to one worker pool, so small grids with slow cells still
+    keep every worker busy; shard outputs are reduced back into
+    per-cell :class:`CampaignCell` statistics that match a serial run
+    bit for bit.  With a ledger, fully recorded cells are decoded
+    outright, checkpointed shards shrink the remaining work to the
+    missing run ranges, and fresh shards checkpoint as they complete.
+    """
+    cells: list[CampaignCell | None] = [None] * len(grid)
+    cached_shards: list[CellShard] = []
+    work: list[tuple] = []
+    for index, (chip, app, env) in enumerate(grid):
+        covered: list[tuple[int, int]] = []
+        if ledger is not None:
+            record = ledger.get(
+                store_records.campaign_cell_key(
+                    chip.short_name, app.name, env.name, runs, seed
+                )
+            )
+            if record is not None:
+                cells[index] = store_records.decode_campaign_cell(record)
+                continue
+            done = _ledgered_shards(
+                ledger, chip, app, env, runs, seed, index
+            )
+            cached_shards.extend(done)
+            covered = [(s.start, s.stop) for s in done]
+        for lo, hi in _missing_ranges(covered, runs):
+            for start, stop in shard_ranges(hi - lo, config):
+                work.append(
+                    (index, app, chip, env, seed, lo + start, lo + stop)
+                )
+    if work and ledger is not None:
+        with ledger.writer() as checkpoint:
+
+            def on_result(j: int, shard: CellShard) -> None:
+                index, app, chip, env = (
+                    work[j][0], work[j][1], work[j][2], work[j][3]
+                )
+                checkpoint.write(
+                    store_records.encode_campaign_shard(
+                        store_records.campaign_shard_key(
+                            chip.short_name, app.name, env.name, runs,
+                            seed, shard.start, shard.stop,
+                        ),
+                        chip.short_name, app.name, env.name, runs, seed,
+                        shard,
+                    )
+                )
+
+            fresh = parallel_map(_cell_shard, work, config, on_result)
+    else:
+        fresh = parallel_map(_cell_shard, work, config)
+    merged = merge_cell_shards(cached_shards + fresh, runs)
+    new_records = []
+    for index, (chip, app, env) in enumerate(grid):
+        if cells[index] is not None:
+            continue
+        errors, timeouts = merged.get(index, (0, 0))
+        cell = CampaignCell(
+            chip=chip.short_name,
+            app=app.name,
+            environment=env.name,
+            errors=errors,
+            timeouts=timeouts,
+            runs=runs,
+        )
+        cells[index] = cell
+        if ledger is not None:
+            new_records.append(
+                store_records.encode_campaign_cell(
+                    store_records.campaign_cell_key(
+                        chip.short_name, app.name, env.name, runs, seed
+                    ),
+                    cell,
+                )
+            )
+    if ledger is not None and new_records:
+        ledger.append(*new_records)
+    return cells
+
+
 def run_cell(
     app: Application,
     chip: HardwareProfile,
@@ -77,26 +229,11 @@ def run_cell(
     runs: int,
     seed: int = 0,
     parallel: ParallelConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> CampaignCell:
     """Run one campaign cell (one table entry of the raw data)."""
     config = resolve_config(parallel)
-    shards = parallel_map(
-        _cell_shard,
-        [
-            (0, app, chip, env, seed, start, stop)
-            for start, stop in shard_ranges(runs, config)
-        ],
-        config,
-    )
-    errors, timeouts = merge_cell_shards(shards, runs).get(0, (0, 0))
-    return CampaignCell(
-        chip=chip.short_name,
-        app=app.name,
-        environment=env.name,
-        errors=errors,
-        timeouts=timeouts,
-        runs=runs,
-    )
+    return _run_grid([(chip, app, env)], runs, seed, config, ledger)[0]
 
 
 def run_campaign(
@@ -106,6 +243,7 @@ def run_campaign(
     scale: Scale = DEFAULT,
     seed: int = 0,
     parallel: ParallelConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> list[CampaignCell]:
     """Run the full Sec. 4 campaign grid.
 
@@ -117,6 +255,11 @@ def run_campaign(
     slow cells still keep every worker busy; shard outputs are reduced
     back into per-cell :class:`CampaignCell` statistics that match a
     serial run bit for bit.
+
+    ``ledger`` makes the campaign durable and resumable: completed
+    shards and cells persist as they finish, and a repeat invocation
+    over the same ledger replays only what is missing (see
+    :mod:`repro.store`).
     """
     config = resolve_config(parallel, scale)
     if apps is None:
@@ -129,25 +272,4 @@ def run_campaign(
         for app in apps:
             for env in envs:
                 grid.append((chip, app, env))
-    runs = scale.campaign_runs
-    work = [
-        (index, app, chip, env, seed, start, stop)
-        for index, (chip, app, env) in enumerate(grid)
-        for start, stop in shard_ranges(runs, config)
-    ]
-    shards = parallel_map(_cell_shard, work, config)
-    merged = merge_cell_shards(shards, runs)
-    cells = []
-    for index, (chip, app, env) in enumerate(grid):
-        errors, timeouts = merged.get(index, (0, 0))
-        cells.append(
-            CampaignCell(
-                chip=chip.short_name,
-                app=app.name,
-                environment=env.name,
-                errors=errors,
-                timeouts=timeouts,
-                runs=runs,
-            )
-        )
-    return cells
+    return _run_grid(grid, scale.campaign_runs, seed, config, ledger)

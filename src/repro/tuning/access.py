@@ -16,9 +16,10 @@ from dataclasses import dataclass, field
 
 from ..chips.profile import HardwareProfile
 from ..litmus import TUNING_TESTS, run_litmus
-from ..parallel import ParallelConfig, parallel_map, resolve_config
+from ..parallel import ParallelConfig, resolve_config
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
+from ..store import ledgered_litmus_counts, litmus_key
 from ..stress.strategies import FixedLocationStress
 from ..stress.sequences import all_sequences, format_sequence
 
@@ -78,13 +79,15 @@ def score_sequences(
     scale: Scale = DEFAULT,
     seed: int = 0,
     parallel: ParallelConfig | None = None,
+    ledger=None,
 ) -> SequenceScores:
     """Score every σ up to the scale's maximum length.
 
     The (σ × test × distance × location) grid is embarrassingly
     parallel; each point derives its own seed from its coordinates, so
     sharding the grid across worker processes (``parallel``) leaves the
-    scores bit-identical.
+    scores bit-identical, and ``ledger`` checkpoints each finished
+    point for exact resumption.
     """
     config = resolve_config(parallel, scale)
     locations = tuple(range(0, scale.max_location, patch_size))
@@ -100,13 +103,23 @@ def score_sequences(
         for d in distances
         for l in locations
     ]
-    counts = parallel_map(
+    keys = [
+        litmus_key(
+            chip.short_name, test.name,
+            f"seq.fix.l{l}.{'-'.join(seq)}", d, scale.seq_executions,
+            seed,
+        )
+        for seq, test, d, l in grid
+    ]
+    counts = ledgered_litmus_counts(
         _sequence_cell,
         [
             (chip, seq, test, d, l, scale.seq_executions, seed)
             for seq, test, d, l in grid
         ],
-        config,
+        keys,
+        [(test.name, d, (l,)) for _seq, test, d, l in grid],
+        scale.seq_executions, config, ledger, chip.short_name, seed,
     )
     for seq in sequences:
         scores.scores[seq] = {t.name: 0 for t in TUNING_TESTS}

@@ -18,9 +18,10 @@ from dataclasses import dataclass, field
 
 from ..chips.profile import HardwareProfile
 from ..litmus import TUNING_TESTS, LitmusTest, run_litmus
-from ..parallel import ParallelConfig, parallel_map, resolve_config
+from ..parallel import ParallelConfig, resolve_config
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
+from ..store import ledgered_litmus_counts, litmus_key
 from ..stress.strategies import FixedLocationStress
 
 #: The access sequence used while probing patches (paper: "the thread
@@ -73,12 +74,15 @@ def scan_patches(
     seed: int = 0,
     tests: tuple[LitmusTest, ...] = TUNING_TESTS,
     parallel: ParallelConfig | None = None,
+    ledger=None,
 ) -> PatchScan:
     """Run the ⟨T_d, l⟩ grid for one chip.
 
     Grid points are independent (each derives its own seed from its
     coordinates), so with ``parallel`` the whole grid fans out across
-    worker processes with statistics identical to a serial run.
+    worker processes with statistics identical to a serial run — and
+    with ``ledger`` every finished point persists as a litmus record,
+    so an interrupted scan resumes at the first missing point.
     """
     config = resolve_config(parallel, scale)
     distances = tuple(range(0, scale.max_distance, scale.distance_step))
@@ -92,13 +96,22 @@ def scan_patches(
     grid = [
         (test, d, l) for test in tests for d in distances for l in locations
     ]
-    counts = parallel_map(
+    keys = [
+        litmus_key(
+            chip.short_name, test.name, f"patch.fix.l{l}.st-ld", d,
+            scale.executions, seed,
+        )
+        for test, d, l in grid
+    ]
+    counts = ledgered_litmus_counts(
         _patch_cell,
         [
             (chip, test, d, l, scale.executions, seed)
             for test, d, l in grid
         ],
-        config,
+        keys,
+        [(test.name, d, (l,)) for test, d, l in grid],
+        scale.executions, config, ledger, chip.short_name, seed,
     )
     for (test, d, l), weak in zip(grid, counts):
         scan.counts[(test.name, d, l)] = weak

@@ -48,23 +48,31 @@ def tune_chip(
     scale: Scale = DEFAULT,
     seed: int = 0,
     parallel: ParallelConfig | None = None,
+    ledger=None,
 ) -> TunedResult:
     """Run patch finding, sequence scoring and spread finding in order.
 
     The three stages are sequential (each consumes the previous stage's
     selection), but every stage's search grid is sharded across worker
     processes under ``parallel`` with results identical to a serial run.
+    ``ledger`` checkpoints every grid point of every stage, so a
+    multi-hour tuning run killed mid-stage resumes at the first missing
+    point (each point derives its seed from its own coordinates, so the
+    resumed tables are bit-identical).
     """
     parallel_config = resolve_config(parallel, scale)
     started = time.perf_counter()
-    scan = scan_patches(chip, scale, seed, parallel=parallel_config)
+    scan = scan_patches(
+        chip, scale, seed, parallel=parallel_config, ledger=ledger
+    )
     patch, per_test = critical_patch_size(scan)
     seq_scores = score_sequences(
-        chip, patch, scale, seed, parallel=parallel_config
+        chip, patch, scale, seed, parallel=parallel_config, ledger=ledger
     )
     sequence = select_sequence(seq_scores)
     spread_scores = score_spreads(
-        chip, patch, sequence, scale, seed, parallel=parallel_config
+        chip, patch, sequence, scale, seed, parallel=parallel_config,
+        ledger=ledger,
     )
     spread = select_spread(spread_scores)
     config = StressConfig(

@@ -14,9 +14,10 @@ from dataclasses import dataclass, field
 
 from ..chips.profile import HardwareProfile
 from ..litmus import TUNING_TESTS, run_litmus
-from ..parallel import ParallelConfig, parallel_map, resolve_config
+from ..parallel import ParallelConfig, resolve_config
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
+from ..store import ledgered_litmus_counts, litmus_key
 from ..stress.config import StressConfig
 from ..stress.strategies import TunedStress
 
@@ -58,12 +59,14 @@ def score_spreads(
     scale: Scale = DEFAULT,
     seed: int = 0,
     parallel: ParallelConfig | None = None,
+    ledger=None,
 ) -> SpreadScores:
     """Score each spread 1..M for one chip.
 
     The (m × test × distance) grid fans out across worker processes
     under ``parallel``; per-point seed derivation keeps the scores
-    identical to a serial run.
+    identical to a serial run.  ``ledger`` checkpoints each finished
+    point for exact resumption.
     """
     config = resolve_config(parallel, scale)
     distances = tuple(
@@ -88,13 +91,24 @@ def score_spreads(
     grid = [
         (m, test, d) for m in spreads for test in TUNING_TESTS for d in distances
     ]
-    counts = parallel_map(
+    keys = [
+        litmus_key(
+            chip.short_name, test.name,
+            f"spread.m{m}.p{patch_size}.{'-'.join(sequence)}"
+            f".r{scale.max_spread}",
+            d, scale.spread_executions, seed,
+        )
+        for m, test, d in grid
+    ]
+    counts = ledgered_litmus_counts(
         _spread_cell,
         [
             (chip, specs[m], m, test, d, scale.spread_executions, seed)
             for m, test, d in grid
         ],
-        config,
+        keys,
+        [(test.name, d, ()) for _m, test, d in grid],
+        scale.spread_executions, config, ledger, chip.short_name, seed,
     )
     for m in spreads:
         scores.scores[m] = {t.name: 0 for t in TUNING_TESTS}

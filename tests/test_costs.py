@@ -12,7 +12,103 @@ from repro.costs import (
     overhead_summary,
 )
 from repro.costs.measure import fences_for
+from repro.errors import CostMeasurementError, ReproError
 from repro.hardening.fence_sets import all_fences
+
+
+class _FakeResult:
+    """The engine-result shape ``measure_cost`` reads."""
+
+    runtime_ticks = 1000
+    ticks = 1000
+    fence_stall_cycles = 0
+
+
+class _FakeRun:
+    def __init__(self, erroneous):
+        self.erroneous = erroneous
+        self.result = _FakeResult()
+
+
+class _SeedRecordingBatch:
+    """ApplicationBatch stand-in that logs every seed it is run with."""
+
+    recorded: dict[tuple[str, str], list[int]] = {}
+
+    def __init__(self, app, chip, **kwargs):
+        self._key = (app.name, chip.short_name)
+        self.recorded.setdefault(self._key, [])
+
+    def run(self, seed, fence_sites=None):
+        self.recorded[self._key].append(seed)
+        return _FakeRun(erroneous=False)
+
+
+class _AlwaysErroneousBatch:
+    def __init__(self, app, chip, **kwargs):
+        pass
+
+    def run(self, seed, fence_sites=None):
+        return _FakeRun(erroneous=True)
+
+
+class TestSeedDerivation:
+    def test_every_cell_draws_a_distinct_stream(self, monkeypatch):
+        """Seeds must depend on app *and* chip: before the fix every
+        (app, chip) cell at one seed replayed an identical stream."""
+        import repro.costs.measure as measure_module
+
+        _SeedRecordingBatch.recorded = {}
+        monkeypatch.setattr(
+            measure_module, "ApplicationBatch", _SeedRecordingBatch
+        )
+        cells = [
+            (get_application(a), get_chip(c))
+            for a in ("cbe-dot", "cbe-ht")
+            for c in ("980", "C2050")
+        ]
+        for app, chip in cells:
+            measure_cost(app, chip, FencingStrategy.NONE, runs=4, seed=0)
+        streams = [
+            tuple(_SeedRecordingBatch.recorded[(a.name, c.short_name)])
+            for a, c in cells
+        ]
+        assert len(set(streams)) == len(streams)
+
+    def test_strategies_draw_distinct_streams(self, monkeypatch):
+        import repro.costs.measure as measure_module
+
+        _SeedRecordingBatch.recorded = {}
+        monkeypatch.setattr(
+            measure_module, "ApplicationBatch", _SeedRecordingBatch
+        )
+        app, chip = get_application("cbe-dot"), get_chip("980")
+        seen = []
+        for strategy in FencingStrategy:
+            _SeedRecordingBatch.recorded = {}
+            measure_cost(app, chip, strategy, runs=4, seed=0)
+            seen.append(
+                tuple(_SeedRecordingBatch.recorded[("cbe-dot", "980")])
+            )
+        assert len(set(seen)) == len(seen)
+
+
+class TestRetryCap:
+    def test_exhausted_retries_raise_domain_error(self, monkeypatch):
+        import repro.costs.measure as measure_module
+
+        monkeypatch.setattr(
+            measure_module, "ApplicationBatch", _AlwaysErroneousBatch
+        )
+        app, chip = get_application("cbe-dot"), get_chip("980")
+        with pytest.raises(CostMeasurementError) as excinfo:
+            measure_cost(app, chip, FencingStrategy.NONE, runs=3, seed=0)
+        assert excinfo.value.app == "cbe-dot"
+        assert excinfo.value.chip == "980"
+        assert excinfo.value.attempts == 12
+        assert excinfo.value.passing == 0
+        # Classifiable at the library's API boundary.
+        assert isinstance(excinfo.value, ReproError)
 
 
 class TestFencesFor:

@@ -6,6 +6,7 @@ import pytest
 
 from repro.apps import get_application
 from repro.chips import get_chip
+from repro.errors import FenceInsertionError
 from repro.hardening import (
     all_fences,
     empirical_fence_insertion,
@@ -108,6 +109,97 @@ class TestAlgorithmLogic:
         oracle = _FakeOracle(app, required)
         reduced = oracle.linear_reduction(all_fences(app), 1)
         assert reduced == required
+
+
+class _RestartOracle(EmpiricalFenceInserter):
+    """Full ``run()`` harness with a deterministic oracle: removals
+    always pass their checks, and the stability verdict is scripted —
+    so the restart loop's accounting is testable without simulation."""
+
+    def __init__(self, app, chip, max_restarts, stable_after):
+        # Bypass parent init: no engine/environment needed.
+        self.app = app
+        self.chip = chip
+        self.max_restarts = max_restarts
+        self._stable_after = stable_after
+        self._stability_checks = 0
+        self.check_runs = 0
+        self._check_counter = 0
+
+    def check_application(self, fences, iterations):
+        self.check_runs += 1
+        return True
+
+    def empirically_stable(self, fences):
+        self._stability_checks += 1
+        return self._stability_checks >= self._stable_after
+
+    @property
+    def environment(self):  # pragma: no cover - never consulted
+        raise AssertionError("oracle has no testing environment")
+
+
+class TestRestartAccounting:
+    """The two insertion bugfixes: ``iterations_used`` reports the last
+    pass actually run, and exhausted restarts return instead of
+    raising."""
+
+    def test_unconverged_reports_last_budget_actually_run(self, titan):
+        # 3 restarts at 4 -> 8 -> 16 iterations, never stable: the old
+        # code reported 32 (the doubling past loop exit).
+        oracle = _RestartOracle(
+            get_application("cbe-dot"), titan, max_restarts=3,
+            stable_after=10**9,
+        )
+        result = oracle.run(initial_iterations=4)
+        assert not result.converged
+        assert result.iterations_used == 16
+
+    def test_unconverged_is_a_result_not_an_exception(self, titan):
+        oracle = _RestartOracle(
+            get_application("cbe-dot"), titan, max_restarts=2,
+            stable_after=10**9,
+        )
+        result = oracle.run(initial_iterations=4)
+        assert not result.converged
+        assert result.chip == "Titan"
+        # The all-removals-pass oracle reduces to the empty set.
+        assert result.reduced == frozenset()
+
+    def test_converged_on_first_pass_keeps_initial_budget(self, titan):
+        oracle = _RestartOracle(
+            get_application("cbe-dot"), titan, max_restarts=4,
+            stable_after=1,
+        )
+        result = oracle.run(initial_iterations=8)
+        assert result.converged
+        assert result.iterations_used == 8
+
+    def test_converged_after_restart_reports_doubled_budget(self, titan):
+        oracle = _RestartOracle(
+            get_application("cbe-dot"), titan, max_restarts=4,
+            stable_after=3,
+        )
+        result = oracle.run(initial_iterations=8)
+        assert result.converged
+        assert result.iterations_used == 32  # 8 -> 16 -> 32, stable
+
+    def test_zero_restarts_raises_before_any_work(self, titan):
+        inserter = EmpiricalFenceInserter(
+            get_application("cbe-dot"), titan, scale=FAST,
+            max_restarts=0,
+        )
+        with pytest.raises(FenceInsertionError, match="max_restarts"):
+            inserter.run()
+        assert inserter.check_runs == 0
+
+    def test_negative_restarts_raise(self, titan):
+        oracle = _RestartOracle(
+            get_application("cbe-dot"), titan, max_restarts=-1,
+            stable_after=1,
+        )
+        with pytest.raises(FenceInsertionError):
+            oracle.run()
 
 
 class TestEndToEnd:

@@ -137,6 +137,34 @@ class TestParallelMap:
             i * i for i in range(25)
         ]
 
+    def test_on_result_serial_fires_in_order(self):
+        seen = []
+        parallel_map(
+            _square, range(6), SERIAL,
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert seen == [(i, i * i) for i in range(6)]
+
+    def test_on_result_parallel_covers_every_index(self):
+        # Completion order is arbitrary under a pool (checkpointing must
+        # not wait for a slow early chunk), but every (index, result)
+        # pair is reported exactly once and the returned list is still
+        # in input order.
+        seen = []
+        out = parallel_map(
+            _square, range(25), JOBS4,
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert out == [i * i for i in range(25)]
+        assert sorted(seen) == [(i, i * i) for i in range(25)]
+
+    def test_on_result_exception_aborts_the_map(self):
+        def bomb(index, result):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            parallel_map(_square, range(6), SERIAL, on_result=bomb)
+
 
 class TestLitmusDeterminism:
     def test_jobs1_vs_jobs4_identical(self, titan):

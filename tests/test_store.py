@@ -1,0 +1,516 @@
+"""Tests for the persistent run ledger (repro.store).
+
+Covers the satellite requirements of the persistence subsystem: JSONL
+round-trips of every record kind, atomicity under a killed writer
+(truncated final line tolerated, anything worse refused), and resume
+parity — an interrupted-then-resumed campaign must be bit-identical to
+a cold serial run and to a ``jobs=2`` run.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.apps import get_application
+from repro.chips import get_chip
+from repro.costs.measure import CostMeasurement, FencingStrategy
+from repro.errors import LedgerCorruptError, LedgerError, ReproError
+from repro.hardening.insertion import InsertionResult
+from repro.litmus.results import LitmusResult
+from repro.parallel import CellShard, ParallelConfig
+from repro.reporting.experiments import open_ledger, run_experiment
+from repro.scale import SMOKE
+from repro.store import (
+    RunLedger,
+    RunRecord,
+    campaign_cell_key,
+    campaign_cells,
+    campaign_shard_key,
+    content_key,
+    cost_key,
+    cost_measurements,
+    decode,
+    insertion_key,
+    insertion_results,
+    litmus_key,
+    litmus_results,
+    stress_token,
+)
+from repro.store import records as store_records
+from repro.stress.strategies import (
+    FixedLocationStress,
+    NoStress,
+    TunedStress,
+)
+from repro.testing.campaign import CampaignCell, run_campaign
+from repro.tuning import shipped_params
+
+TINY = dataclasses.replace(SMOKE, campaign_runs=6)
+
+LITMUS = LitmusResult(
+    test="MP", distance=64, weak=7, executions=200, location=(0, 64),
+    backend="engine",
+)
+CELL = CampaignCell(
+    chip="K20", app="cbe-dot", environment="sys-str+", errors=3,
+    timeouts=1, runs=24,
+)
+SHARD = CellShard(cell=0, start=4, stop=8, errors=2, timeouts=0)
+INSERTION = InsertionResult(
+    chip="Titan", app="cbe-ht", initial_fences=5,
+    reduced=frozenset({"a", "b"}), iterations_used=64, check_runs=321,
+    wall_seconds=1.5, converged=False,
+)
+COST = CostMeasurement(
+    chip="K20", app="cbe-dot", strategy=FencingStrategy.CONSERVATIVE,
+    runtime_ms=1.25, energy_j=None, runs=30, discarded=2,
+)
+
+
+class TestContentKeys:
+    def test_key_fields_in_order(self):
+        key = content_key("campaign", "K20", "cbe-dot", "sys-str+",
+                          "r24", 7, "engine")
+        assert key == "campaign:K20:cbe-dot:sys-str+:r24:s7:engine"
+
+    def test_keys_sanitise_separator_and_spaces(self):
+        key = content_key("cost", "K20", "x", "no fences", "r1", 0)
+        assert " " not in key and key.count(":") == 6
+
+    def test_distinct_coordinates_distinct_keys(self):
+        keys = {
+            campaign_cell_key(chip, app, env, runs, seed)
+            for chip in ("K20", "Titan")
+            for app in ("cbe-dot", "cbe-ht")
+            for env in ("sys-str+", "no-str-")
+            for runs in (10, 20)
+            for seed in (0, 1)
+        }
+        assert len(keys) == 32
+
+    def test_shard_key_includes_range(self):
+        a = campaign_shard_key("K20", "x", "e", 24, 0, 0, 12)
+        b = campaign_shard_key("K20", "x", "e", 24, 0, 12, 24)
+        assert a != b
+
+    def test_stress_tokens_distinguish_strategies(self):
+        tokens = {
+            stress_token(NoStress()),
+            stress_token(FixedLocationStress((0, 64), ("st", "ld"))),
+            stress_token(TunedStress(shipped_params("K20"))),
+            stress_token(TunedStress(shipped_params("Titan"))),
+        }
+        assert len(tokens) == 4
+
+    def test_litmus_key_distinguishes_backend_and_randomise(self):
+        base = dict(chip="K20", test="MP", stress="no-str", distance=64,
+                    executions=100, seed=0)
+        assert litmus_key(**base) != litmus_key(**base, backend="engine")
+        assert litmus_key(**base) != litmus_key(**base, randomise=True)
+
+
+class TestRoundTrip:
+    def _ledger(self, tmp_path):
+        return RunLedger.create(tmp_path / "ledger")
+
+    def test_litmus_round_trip(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        key = litmus_key("K20", "MP", "no-str", 64, 200, 0, "engine")
+        ledger.append(store_records.encode_litmus(key, LITMUS))
+        reopened = RunLedger.open(tmp_path / "ledger")
+        assert decode(reopened.get(key)) == LITMUS
+
+    def test_campaign_cell_round_trip(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        key = campaign_cell_key("K20", "cbe-dot", "sys-str+", 24, 0)
+        ledger.append(store_records.encode_campaign_cell(key, CELL))
+        assert decode(RunLedger.open(ledger.root).get(key)) == CELL
+
+    def test_campaign_shard_round_trip(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        key = campaign_shard_key("K20", "cbe-dot", "sys-str+", 24, 0, 4, 8)
+        ledger.append(
+            store_records.encode_campaign_shard(
+                key, "K20", "cbe-dot", "sys-str+", 24, 0, SHARD
+            )
+        )
+        record = RunLedger.open(ledger.root).get(key)
+        # Shards re-home onto the resuming run's grid index.
+        assert store_records.decode_campaign_shard(record, cell=3) == \
+            dataclasses.replace(SHARD, cell=3)
+
+    def test_insertion_round_trip(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        key = insertion_key("Titan", "cbe-ht", 40, 32, 4, 0)
+        ledger.append(store_records.encode_insertion(key, INSERTION))
+        assert decode(RunLedger.open(ledger.root).get(key)) == INSERTION
+
+    def test_cost_round_trip(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        key = cost_key("K20", "cbe-dot", "CONSERVATIVE", 30, 0)
+        ledger.append(store_records.encode_cost(key, COST))
+        assert decode(RunLedger.open(ledger.root).get(key)) == COST
+
+    def test_domain_queries(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        ledger.append(
+            store_records.encode_litmus(
+                litmus_key("K20", "MP", "no-str", 64, 200, 0), LITMUS
+            ),
+            store_records.encode_campaign_cell(
+                campaign_cell_key("K20", "cbe-dot", "sys-str+", 24, 0),
+                CELL,
+            ),
+            store_records.encode_insertion(
+                insertion_key("Titan", "cbe-ht", 40, 32, 4, 0), INSERTION
+            ),
+            store_records.encode_cost(
+                cost_key("K20", "cbe-dot", "CONSERVATIVE", 30, 0), COST
+            ),
+        )
+        assert litmus_results(ledger) == [LITMUS]
+        assert campaign_cells(ledger) == [CELL]
+        assert insertion_results(ledger) == [INSERTION]
+        assert cost_measurements(ledger) == [COST]
+        assert campaign_cells(ledger, chip="none") == []
+
+    def test_litmus_payload_filters_on_chip_and_seed(self, tmp_path):
+        ledger = self._ledger(tmp_path)
+        ledger.append(
+            store_records.encode_litmus(
+                litmus_key("K20", "MP", "no-str", 64, 200, 0), LITMUS,
+                chip="K20", seed=0,
+            ),
+            store_records.encode_litmus(
+                litmus_key("Titan", "MP", "no-str", 64, 200, 3), LITMUS,
+                chip="Titan", seed=3,
+            ),
+        )
+        assert len(litmus_results(ledger)) == 2
+        assert len(litmus_results(ledger, chip="K20")) == 1
+        assert len(litmus_results(ledger, chip="Titan", seed=3)) == 1
+        assert litmus_results(ledger, chip="C2075") == []
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            decode(RunRecord(key="k", kind="mystery", payload={}))
+
+
+class TestLedgerDurability:
+    def test_create_then_open(self, tmp_path):
+        ledger = RunLedger.create(tmp_path / "led", meta={"note": "x"})
+        assert RunLedger.open(tmp_path / "led").manifest["note"] == "x"
+
+    def test_create_refuses_existing(self, tmp_path):
+        RunLedger.create(tmp_path / "led")
+        with pytest.raises(LedgerError):
+            RunLedger.create(tmp_path / "led")
+
+    def test_open_missing_raises(self, tmp_path):
+        with pytest.raises(LedgerError):
+            RunLedger.open(tmp_path / "absent")
+
+    def test_open_or_create_roundtrips(self, tmp_path):
+        first = RunLedger.open_or_create(tmp_path / "led")
+        first.append(
+            store_records.encode_campaign_cell(
+                campaign_cell_key("K20", "a", "e", 5, 0), CELL
+            )
+        )
+        second = RunLedger.open_or_create(tmp_path / "led")
+        assert len(second) == 1
+
+    def test_ledger_error_is_repro_error(self, tmp_path):
+        with pytest.raises(ReproError):
+            RunLedger.open(tmp_path / "absent")
+
+    def test_latest_record_wins_on_duplicate_key(self, tmp_path):
+        ledger = RunLedger.create(tmp_path / "led")
+        key = campaign_cell_key("K20", "a", "e", 5, 0)
+        ledger.append(store_records.encode_campaign_cell(key, CELL))
+        newer = dataclasses.replace(CELL, errors=9)
+        ledger.append(store_records.encode_campaign_cell(key, newer))
+        assert decode(RunLedger.open(ledger.root).get(key)) == newer
+
+    def test_killed_writer_truncated_tail_tolerated(self, tmp_path):
+        ledger = RunLedger.create(tmp_path / "led")
+        with ledger.writer() as writer:
+            for i in range(3):
+                writer.write(
+                    store_records.encode_campaign_cell(
+                        campaign_cell_key("K20", f"app{i}", "e", 5, 0),
+                        dataclasses.replace(CELL, app=f"app{i}"),
+                    )
+                )
+        segments = list((tmp_path / "led").glob("seg-*.jsonl"))
+        assert len(segments) == 1
+        # Simulate a writer killed mid-record: chop into the last line.
+        raw = segments[0].read_bytes()
+        segments[0].write_bytes(raw[:-10])
+        survivors = RunLedger.open(tmp_path / "led")
+        assert len(survivors) == 2
+        assert campaign_cell_key("K20", "app1", "e", 5, 0) in survivors
+        assert campaign_cell_key("K20", "app2", "e", 5, 0) not in survivors
+
+    def test_mid_file_corruption_refused(self, tmp_path):
+        ledger = RunLedger.create(tmp_path / "led")
+        with ledger.writer() as writer:
+            for i in range(3):
+                writer.write(
+                    store_records.encode_campaign_cell(
+                        campaign_cell_key("K20", f"app{i}", "e", 5, 0),
+                        CELL,
+                    )
+                )
+        segment = next((tmp_path / "led").glob("seg-*.jsonl"))
+        lines = segment.read_text().splitlines()
+        lines[1] = lines[1][:-5] + "@@@"
+        segment.write_text("\n".join(lines) + "\n")
+        with pytest.raises(LedgerCorruptError):
+            RunLedger.open(tmp_path / "led")
+
+    def test_complete_final_line_with_bad_json_refused(self, tmp_path):
+        # A *complete* line (newline-terminated) that does not parse is
+        # corruption, not a killed writer.
+        ledger = RunLedger.create(tmp_path / "led")
+        segment = ledger.root / "seg-000001.jsonl"
+        segment.write_text('{"key": "k", "kind": "campaign"\n')
+        with pytest.raises(LedgerCorruptError):
+            RunLedger.open(tmp_path / "led")
+
+    def test_empty_writer_leaves_no_segment(self, tmp_path):
+        ledger = RunLedger.create(tmp_path / "led")
+        with ledger.writer():
+            pass
+        assert list((tmp_path / "led").glob("seg-*.jsonl")) == []
+
+    def test_append_is_atomic_segment(self, tmp_path):
+        ledger = RunLedger.create(tmp_path / "led")
+        ledger.append(
+            store_records.encode_campaign_cell(
+                campaign_cell_key("K20", "a", "e", 5, 0), CELL
+            )
+        )
+        segments = list((tmp_path / "led").glob("seg-*.jsonl"))
+        assert len(segments) == 1
+        assert not list((tmp_path / "led").glob("*.tmp"))
+
+    def test_bad_manifest_format_refused(self, tmp_path):
+        RunLedger.create(tmp_path / "led")
+        manifest = tmp_path / "led" / "manifest.json"
+        manifest.write_text(json.dumps({"format": 999}))
+        with pytest.raises(LedgerError):
+            RunLedger.open(tmp_path / "led")
+
+
+def _campaign_args(k20):
+    return dict(
+        chips=[k20],
+        apps=[get_application("cbe-dot"), get_application("cbe-ht")],
+        environments=["no-str-", "sys-str+"],
+        scale=TINY,
+        seed=3,
+    )
+
+
+class TestResumeParity:
+    """Interrupted-then-resumed statistics must match a cold run exactly."""
+
+    def test_resumed_campaign_matches_cold_and_jobs2(
+        self, tmp_path, monkeypatch, k20
+    ):
+        args = _campaign_args(k20)
+        cold = run_campaign(**args)
+
+        import repro.testing.campaign as campaign_module
+
+        real_map = campaign_module.parallel_map
+
+        def interrupting_map(fn, items, config, on_result=None):
+            count = 0
+
+            def counting(index, result):
+                nonlocal count
+                if on_result is not None:
+                    on_result(index, result)
+                count += 1
+                if count >= 2:
+                    raise KeyboardInterrupt
+
+            return real_map(fn, items, config, counting)
+
+        ledger = RunLedger.create(tmp_path / "led")
+        monkeypatch.setattr(
+            campaign_module, "parallel_map", interrupting_map
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(**args, ledger=ledger)
+        monkeypatch.setattr(campaign_module, "parallel_map", real_map)
+
+        # The kill landed mid-campaign: some shards persisted, no cell
+        # finished, and the resumed run completes bit-identically.
+        interrupted = RunLedger.open(tmp_path / "led")
+        assert interrupted.counts_by_kind().get("campaign-shard") == 2
+        resumed = run_campaign(**args, ledger=interrupted)
+        assert resumed == cold
+
+        # A jobs=2 run over a fresh ledger also matches.
+        parallel_ledger = RunLedger.create(tmp_path / "led2")
+        sharded = run_campaign(
+            **args, parallel=ParallelConfig(jobs=2), ledger=parallel_ledger
+        )
+        assert sharded == cold
+
+        # And resuming *across* worker counts is exact too: a serial
+        # resume over the jobs=2 ledger decodes the same cells.
+        assert run_campaign(**args, ledger=parallel_ledger) == cold
+
+    def test_complete_ledger_needs_zero_simulation(
+        self, tmp_path, monkeypatch, k20
+    ):
+        args = _campaign_args(k20)
+        ledger = RunLedger.create(tmp_path / "led")
+        cells = run_campaign(**args, ledger=ledger)
+
+        import repro.testing.campaign as campaign_module
+
+        def explode(item):  # pragma: no cover - must never run
+            raise AssertionError("ledger-complete run simulated a shard")
+
+        monkeypatch.setattr(campaign_module, "_cell_shard", explode)
+        assert run_campaign(**args, ledger=ledger) == cells
+
+    def test_mid_cell_shard_records_shrink_the_resume(
+        self, tmp_path, monkeypatch, k20
+    ):
+        """Only the runs not covered by checkpointed shards re-execute."""
+        args = _campaign_args(k20)
+        cold = run_campaign(**args)
+        ledger = RunLedger.create(tmp_path / "led")
+
+        import repro.testing.campaign as campaign_module
+
+        real_shard = campaign_module._cell_shard
+        executed: list[tuple[int, int, int]] = []
+
+        def recording_shard(shard_args):
+            executed.append(
+                (shard_args[0], shard_args[5], shard_args[6])
+            )
+            return real_shard(shard_args)
+
+        # Pre-checkpoint runs [0, 3) of the first cell by hand.
+        app = args["apps"][0]
+        env_name = "no-str-"
+        pre = real_shard((0, app, k20, _env(k20, env_name), 3, 0, 3))
+        ledger.append(
+            store_records.encode_campaign_shard(
+                campaign_shard_key(
+                    "K20", app.name, env_name, TINY.campaign_runs, 3, 0, 3
+                ),
+                "K20", app.name, env_name, TINY.campaign_runs, 3, pre,
+            )
+        )
+        monkeypatch.setattr(
+            campaign_module, "_cell_shard", recording_shard
+        )
+        resumed = run_campaign(**args, ledger=ledger)
+        assert resumed == cold
+        # The pre-checkpointed range was skipped...
+        assert (0, 0, 3) not in [
+            e for e in executed
+        ]
+        # ...and its complement ran as one shard.
+        assert (0, 3, TINY.campaign_runs) in executed
+
+
+def _env(chip, name):
+    from repro.stress.environment import standard_environments
+
+    envs = {
+        e.name: e
+        for e in standard_environments(shipped_params(chip.short_name))
+    }
+    return envs[name]
+
+
+class TestLedgeredExperiments:
+    def test_table5_interrupt_resume_byte_identical_and_zero_sim(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance criterion: an interrupted ``--out`` campaign
+        resumed with ``--resume`` renders byte-identical table5 output,
+        and the complete ledger re-renders with zero simulation runs."""
+        kwargs = dict(
+            scale=TINY, seed=5, chips=("K20",),
+            environments=("no-str-", "sys-str+"),
+        )
+        cold = run_experiment("table5", **kwargs)
+
+        import repro.testing.campaign as campaign_module
+
+        real_map = campaign_module.parallel_map
+
+        def interrupting_map(fn, items, config, on_result=None):
+            count = 0
+
+            def counting(index, result):
+                nonlocal count
+                if on_result is not None:
+                    on_result(index, result)
+                count += 1
+                if count >= 3:
+                    raise KeyboardInterrupt
+
+            return real_map(fn, items, config, counting)
+
+        out = str(tmp_path / "ledger")
+        monkeypatch.setattr(
+            campaign_module, "parallel_map", interrupting_map
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment("table5", **kwargs, out=out)
+        monkeypatch.setattr(campaign_module, "parallel_map", real_map)
+
+        resumed = run_experiment("table5", **kwargs, resume=out)
+        assert resumed == cold
+
+        def explode(item):  # pragma: no cover - must never run
+            raise AssertionError("complete ledger re-simulated a shard")
+
+        monkeypatch.setattr(campaign_module, "_cell_shard", explode)
+        assert run_experiment("table5", **kwargs, resume=out) == cold
+
+    def test_survey_renders_from_ledger_without_runs(
+        self, tmp_path, monkeypatch
+    ):
+        kwargs = dict(
+            scale=SMOKE, seed=3, chips=("K20",), tests=("MP", "SB"),
+        )
+        out = str(tmp_path / "ledger")
+        first = run_experiment("survey", **kwargs, out=out)
+
+        import repro.reporting.experiments as experiments_module
+
+        def explode(*a, **k):  # pragma: no cover - must never run
+            raise AssertionError("survey re-ran a ledgered litmus test")
+
+        monkeypatch.setattr(experiments_module, "run_litmus", explode)
+        assert run_experiment("survey", **kwargs, resume=out) == first
+
+    def test_open_ledger_rejects_mismatched_out_resume(self, tmp_path):
+        # LedgerError (a ReproError) so every CLI subcommand reports it
+        # as a clean `gpu-wmm: error:` line, not a traceback.
+        RunLedger.create(tmp_path / "a")
+        with pytest.raises(LedgerError):
+            open_ledger(out=str(tmp_path / "a"), resume=str(tmp_path / "b"))
+
+    def test_open_ledger_same_dir_both_flags(self, tmp_path):
+        RunLedger.create(tmp_path / "a")
+        ledger = open_ledger(out=str(tmp_path / "a"),
+                             resume=str(tmp_path / "a"))
+        assert isinstance(ledger, RunLedger)
+
+    def test_open_ledger_none(self):
+        assert open_ledger() is None
