@@ -33,7 +33,7 @@ import os
 import time
 
 from repro.chips import get_chip
-from repro.litmus import ALL_TESTS, MP, run_litmus
+from repro.litmus import ALL_TESTS, MP, run_litmus, run_litmus_vector
 from repro.litmus.runner import LitmusInstance, _litmus_span
 from repro.parallel import ParallelConfig
 from repro.stress.strategies import NoStress, TunedStress
@@ -164,6 +164,122 @@ def test_family_litmus_rates(bench_json):
         f"\nfamily sys-str: {len(family)} tests, "
         f"{total / elapsed:,.0f} executions/s, weak in "
         f"{len(weak_tests)}/{len(family)} tests"
+    )
+
+
+#: Executions per timed vector-backend run: four mega-batches, so the
+#: measurement covers batch turnover, not just one warm batch.
+_VECTOR_EXECUTIONS = int(
+    os.environ.get("REPRO_BENCH_VECTOR_EXECUTIONS", "16384")
+)
+#: The tentpole floor: the vector backend must beat the direct serial
+#: path by at least this factor on the same workload (ISSUE 6).
+_VECTOR_MIN_SPEEDUP = 10.0
+
+
+def _direct_serial_rate(bench_json, chip, spec):
+    """Serial direct-backend exec/s for the canonical workload — reuse
+    the A-side record when the serial benchmark already ran in this
+    session, else measure inline (standalone invocation)."""
+    recorded = bench_json.get("serial_sys_str")
+    if recorded:
+        return recorded["exec_per_sec"]
+    instance = _layout(chip)
+    _litmus_span(chip, instance, spec, _SEED, False, 0, 50)
+    rate, _ = _best_rate(
+        lambda: _litmus_span(
+            chip, instance, spec, _SEED, False, 0, _EXECUTIONS
+        ),
+        _EXECUTIONS,
+    )
+    return rate
+
+
+def test_vector_sys_str_throughput(bench_json):
+    """A/B: the vectorized mega-batch backend against the serial direct
+    path on the canonical workload.  Records both sides and the ratio;
+    the tentpole acceptance floor is >= 10x."""
+    chip = get_chip("K20")
+    spec = TunedStress(shipped_params("K20"))
+    direct_rate = _direct_serial_rate(bench_json, chip, spec)
+
+    def run():
+        return run_litmus_vector(
+            chip, MP, 2 * chip.patch_size, spec,
+            _VECTOR_EXECUTIONS, seed=_SEED,
+        ).weak
+
+    run()  # warm plan/table caches
+    rate, weak = _best_rate(run, _VECTOR_EXECUTIONS)
+    ratio = rate / direct_rate
+    bench_json["vector_sys_str"] = {
+        "executions": _VECTOR_EXECUTIONS,
+        "weak": weak,
+        "weak_rate": round(weak / _VECTOR_EXECUTIONS, 4),
+        "exec_per_sec": round(rate, 1),
+        "direct_serial_exec_per_sec": round(direct_rate, 1),
+        "speedup_vs_direct_serial": round(ratio, 1),
+    }
+    assert ratio >= _VECTOR_MIN_SPEEDUP, (
+        f"vector backend {rate:,.0f} exec/s is only {ratio:.1f}x the "
+        f"direct serial path ({direct_rate:,.0f} exec/s); "
+        f"floor is {_VECTOR_MIN_SPEEDUP:.0f}x"
+    )
+    print(
+        f"\nvector sys-str: {rate:,.0f} executions/s "
+        f"({ratio:.1f}x direct serial, weak rate "
+        f"{weak / _VECTOR_EXECUTIONS:.4f})"
+    )
+
+
+def test_vector_family_throughput(bench_json):
+    """The full 16-test family on the vector backend (the family
+    benchmark of the acceptance criteria): per-test weak rates plus
+    whole-family exec/s, with the >= 10x floor checked against the
+    direct family sweep."""
+    chip = get_chip("K20")
+    spec = TunedStress(shipped_params("K20"))
+    d = 2 * chip.patch_size
+    per_test = max(4096, _VECTOR_EXECUTIONS // 4)
+    for test in ALL_TESTS:  # warm plan/table caches
+        run_litmus_vector(chip, test, d, spec, 64, seed=_SEED)
+    start = time.perf_counter()
+    family = {}
+    total = 0
+    for test in ALL_TESTS:
+        result = run_litmus_vector(
+            chip, test, d, spec, per_test, seed=_SEED
+        )
+        total += result.executions
+        family[test.name] = {
+            "threads": test.n_threads,
+            "weak": result.weak,
+            "executions": result.executions,
+            "rate": round(result.rate, 4),
+        }
+    elapsed = time.perf_counter() - start
+    rate = total / elapsed
+    record = {
+        "chip": "K20",
+        "distance": d,
+        "seed": _SEED,
+        "exec_per_sec": round(rate, 1),
+        "tests": family,
+    }
+    direct_family = bench_json.get("family_sys_str")
+    if direct_family:
+        ratio = rate / direct_family["exec_per_sec"]
+        record["speedup_vs_direct_family"] = round(ratio, 1)
+        assert ratio >= _VECTOR_MIN_SPEEDUP, (
+            f"vector family sweep {rate:,.0f} exec/s is only "
+            f"{ratio:.1f}x the direct family sweep"
+        )
+    bench_json["vector_family_sys_str"] = record
+    assert family["CoRR"]["weak"] == 0 and family["CoWW"]["weak"] == 0
+    assert family["MP"]["weak"] > 0
+    print(
+        f"\nvector family sys-str: {len(family)} tests, "
+        f"{rate:,.0f} executions/s"
     )
 
 

@@ -29,8 +29,7 @@ from .apps.registry import all_applications
 from .chips.registry import CHIP_ORDER, all_chips, get_chip
 from .errors import ReproError
 from .hardening.insertion import empirical_fence_insertion
-from .litmus.compile import run_litmus_compiled
-from .litmus.runner import run_litmus
+from .litmus import BACKENDS
 from .litmus.tests import ALL_TESTS, get_test, test_names
 from .parallel import ParallelConfig
 from .reporting.experiments import EXPERIMENTS, open_ledger, run_experiment
@@ -153,6 +152,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             )
             return 2
         kwargs["tests"] = tuple(args.tests)
+    if args.backend:
+        if args.id != "survey":
+            print(
+                f"gpu-wmm: error: --backend only applies to the survey "
+                f"experiment, not {args.id}",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["backend"] = args.backend
     try:
         text = run_experiment(
             args.id,
@@ -202,7 +210,7 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
         spec = FixedLocationStress(locations, sequence)
     else:
         spec = NoStress()
-    runner = run_litmus if args.backend == "direct" else run_litmus_compiled
+    runner = BACKENDS[args.backend]
     ledger = _ledger(args)
     key = litmus_key(
         chip.short_name, test.name, stress_token(spec), args.distance,
@@ -309,6 +317,8 @@ def _epilog() -> str:
             "  gpu-wmm litmus MP --chip K20 --stress-at 0,64",
             "  gpu-wmm litmus IRIW --chip K20 --stress-at 0,64 \\",
             "      --backend engine           # compiled SIMT path",
+            "  gpu-wmm litmus SB --chip 980 --executions 100000 \\",
+            "      --backend vector           # vectorized mega-batches",
             "  gpu-wmm experiment survey --scale smoke --chips K20 \\",
             "      --tests MP MP-FF IRIW",
             "  gpu-wmm experiment table5 --scale smoke --jobs 4 \\",
@@ -375,6 +385,16 @@ def build_parser() -> argparse.ArgumentParser:
             f"(choices: {', '.join(_TEST_NAMES)})"
         ),
     )
+    p.add_argument(
+        "--backend",
+        default=None,
+        choices=tuple(BACKENDS),
+        help=(
+            "litmus backend for the survey experiment "
+            f"(choices: {', '.join(BACKENDS)}; default: the scale's "
+            "litmus_backend knob)"
+        ),
+    )
     _add_common(p)
     p.set_defaults(fn=_cmd_experiment)
 
@@ -433,10 +453,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         default="direct",
-        choices=("direct", "engine"),
+        choices=tuple(BACKENDS),
         help=(
-            "execution backend: the direct memory-system fast path, or "
-            "the test compiled to a SIMT-engine kernel (default: direct)"
+            "execution backend: the direct memory-system fast path, the "
+            "test compiled to a SIMT-engine kernel, or the vectorized "
+            "mega-batch backend (default: direct)"
         ),
     )
     _add_common(p)

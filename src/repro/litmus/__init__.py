@@ -1,4 +1,4 @@
-"""Litmus tests, their IR and the two execution backends.
+"""Litmus tests, their IR and the three execution backends.
 
 The paper tunes its memory stress against the three classic weak-memory
 litmus tests — message passing (MP), load buffering (LB) and store
@@ -10,7 +10,8 @@ This package generalises that triple into a declarative IR
 fenced variants, coherence tests and 3/4-thread idioms
 (:mod:`repro.litmus.tests`), a fast direct runner
 (:mod:`repro.litmus.runner`), a compiled SIMT-engine backend
-(:mod:`repro.litmus.compile`) and a brute-force SC oracle
+(:mod:`repro.litmus.compile`), a vectorized mega-batch backend
+(:mod:`repro.litmus.vector`) and a brute-force SC oracle
 (:mod:`repro.litmus.sc`).
 """
 
@@ -45,8 +46,20 @@ from .compile import (
     compile_test,
     run_litmus_compiled,
 )
+from .vector import run_litmus_vector
 from .sc import forbidden_sc_reachable, sc_outcomes
 from .results import LitmusResult, Tally
+
+#: Runner dispatch: every litmus backend, keyed by its CLI/ledger name.
+#: All three share one signature (chip, test, distance, stress_spec,
+#: executions, *, seed, randomise, parallel) and tag their results with
+#: ``LitmusResult.backend`` so ledger keys never collide across
+#: backends.
+BACKENDS = {
+    "direct": run_litmus,
+    "engine": run_litmus_compiled,
+    "vector": run_litmus_vector,
+}
 
 __all__ = [
     "MP",
@@ -73,6 +86,8 @@ __all__ = [
     "CompiledLitmus",
     "compile_test",
     "run_litmus_compiled",
+    "run_litmus_vector",
+    "BACKENDS",
     "ParityReport",
     "backend_parity",
     "forbidden_sc_reachable",

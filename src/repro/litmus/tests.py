@@ -378,6 +378,26 @@ FENCED_VARIANTS = {
 
 _BY_NAME = {t.name.upper(): t for t in ALL_TESTS}
 
+#: Separator punctuation that varies between shells, filters and papers
+#: (``2+2W`` vs ``2.2W`` vs ``2-2W``); lookup treats them all alike.
+_SEPARATORS = str.maketrans("", "", "+.-")
+
+
+def _canon(name: str) -> str:
+    """Case-folded name with separator punctuation removed."""
+    return name.upper().translate(_SEPARATORS)
+
+
+_BY_CANON: dict[str, LitmusTest] = {}
+for _test in ALL_TESTS:
+    _key = _canon(_test.name)
+    if _key in _BY_CANON:
+        raise AssertionError(
+            f"litmus registry names {_BY_CANON[_key].name!r} and "
+            f"{_test.name!r} collide under punctuation-insensitive lookup"
+        )
+    _BY_CANON[_key] = _test
+
 
 def test_names() -> tuple[str, ...]:
     """Canonical registry names, in registry order."""
@@ -385,9 +405,18 @@ def test_names() -> tuple[str, ...]:
 
 
 def get_test(name: str) -> LitmusTest:
-    """Look up a registered test by (case-insensitive) name."""
+    """Look up a registered test by name.
+
+    Lookup is case-insensitive and tolerant of the separator
+    punctuation the family names carry: ``2.2w``, ``2-2w`` and ``22w``
+    all resolve to ``2+2W``, and ``3lb`` to ``3.LB``.
+    """
     try:
         return _BY_NAME[name.upper()]
+    except KeyError:
+        pass
+    try:
+        return _BY_CANON[_canon(name)]
     except KeyError:
         raise ValueError(
             f"unknown litmus test {name!r}; choose from "

@@ -24,6 +24,7 @@ from ..apps.registry import all_applications, table4_rows
 from ..chips.registry import all_chips, get_chip, table1_rows
 from ..costs.report import figure5_points, overhead_summary
 from ..hardening.insertion import empirical_fence_insertion
+from ..litmus import BACKENDS
 from ..litmus.runner import run_litmus
 from ..litmus.tests import ALL_TESTS, TUNING_TESTS, get_test
 from ..stress.strategies import NoStress, TunedStress
@@ -310,6 +311,7 @@ def survey(
     seed: int = 0,
     chips: tuple[str, ...] = ("K20", "Titan", "980"),
     tests: tuple[str, ...] | None = None,
+    backend: str | None = None,
     parallel: ParallelConfig | None = None,
     ledger: RunLedger | None = None,
 ) -> str:
@@ -317,14 +319,28 @@ def survey(
 
     Goes beyond the paper's MP/LB/SB triple: for every registered test
     (fenced variants, coherence tests, 3/4-thread idioms) and every
-    selected chip, runs the direct backend natively and under the
+    selected chip, runs the chosen backend natively and under the
     chip's tuned ``sys-str`` stressing at distance ``2 x patch size``.
     Fenced variants should show strictly lower tuned rates than their
     unfenced bases; coherence tests should stay silent everywhere.
+
+    ``backend`` picks the litmus runner (``direct``, ``engine`` or
+    ``vector``); ``None`` defers to ``scale.litmus_backend``.  Ledger
+    keys carry the backend, so surveys on different backends never
+    satisfy each other's resume.
     """
     selected = (
         [get_test(name) for name in tests] if tests else list(ALL_TESTS)
     )
+    if backend is None:
+        backend = scale.litmus_backend
+    try:
+        runner = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown litmus backend {backend!r}; "
+            f"choose from {', '.join(BACKENDS)}"
+        ) from None
     executions = max(20, scale.executions)
     chip_objs = [get_chip(c) for c in chips]
     checkpoint = ledger.writer() if ledger is not None else None
@@ -332,13 +348,13 @@ def survey(
     def ledgered_litmus(chip, test, distance, spec):
         key = litmus_key(
             chip.short_name, test.name, stress_token(spec), distance,
-            executions, seed,
+            executions, seed, backend=backend,
         )
         if ledger is not None:
             record = ledger.get(key)
             if record is not None:
                 return store_records.decode_litmus(record)
-        result = run_litmus(
+        result = runner(
             chip, test, distance, spec, executions,
             seed=seed, parallel=parallel,
         )
@@ -376,7 +392,8 @@ def survey(
         rows,
         title=(
             "Litmus survey: weak outcomes per test "
-            f"(out of {executions} executions, d = 2 x patch size)"
+            f"(out of {executions} executions, d = 2 x patch size, "
+            f"{backend} backend)"
         ),
     )
 

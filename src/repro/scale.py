@@ -37,6 +37,11 @@ class Scale:
     * ``jobs`` — worker processes for the parallel subsystem
       (:mod:`repro.parallel`); ``1`` = serial, ``0`` = one per CPU.
       Results are identical at any job count; only wall-clock changes.
+    * ``litmus_backend`` — which litmus runner the survey-style
+      experiments use (``direct``, ``engine`` or ``vector``).  The
+      vector backend trades draw-identical scalar semantics for
+      mega-batch throughput; its results are validated statistically
+      (see :mod:`repro.litmus.vector`).
     """
 
     name: str
@@ -57,10 +62,22 @@ class Scale:
     spread_distance_step: int = 64
     spread_executions: int = 48
     jobs: int = 1
+    litmus_backend: str = "direct"
+
+    def __post_init__(self) -> None:
+        if self.litmus_backend not in ("direct", "engine", "vector"):
+            raise ReproError(
+                f"unknown litmus backend {self.litmus_backend!r}; "
+                "choose from direct, engine, vector"
+            )
 
     def with_jobs(self, jobs: int) -> "Scale":
         """Copy of this preset with a different worker count."""
         return dataclasses.replace(self, jobs=jobs)
+
+    def with_backend(self, backend: str) -> "Scale":
+        """Copy of this preset with a different litmus backend."""
+        return dataclasses.replace(self, litmus_backend=backend)
 
 
 SMOKE = Scale(

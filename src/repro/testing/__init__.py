@@ -1,6 +1,14 @@
 """Application test campaigns (paper Sec. 4)."""
 
 from .campaign import CampaignCell, run_campaign, run_cell
+from .stats import (
+    ParityVerdict,
+    ProportionTest,
+    bonferroni_alpha,
+    parity_family,
+    two_proportion_test,
+    wilson_interval,
+)
 from .summary import Table5Cell, table5_summary, EFFECTIVENESS_THRESHOLD
 
 __all__ = [
@@ -10,4 +18,10 @@ __all__ = [
     "Table5Cell",
     "table5_summary",
     "EFFECTIVENESS_THRESHOLD",
+    "ParityVerdict",
+    "ProportionTest",
+    "bonferroni_alpha",
+    "parity_family",
+    "two_proportion_test",
+    "wilson_interval",
 ]

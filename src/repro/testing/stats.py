@@ -1,0 +1,172 @@
+"""Statistical primitives for backend-parity validation.
+
+The vector backend (:mod:`repro.litmus.vector`) cannot be draw-identical
+to the scalar core — its correctness oracle is *statistical*: at fixed
+seeds, the weak-outcome rates of the two backends must be samples from
+the same underlying Bernoulli rate.  This module supplies the small
+toolbox that test harnesses and reports use to decide that question —
+
+* :func:`two_proportion_test` — the classic pooled two-sided z-test for
+  ``H0: p1 == p2`` over two binomial samples;
+* :func:`wilson_interval` — a Wilson score confidence interval for one
+  binomial proportion (well-behaved at 0 and 1, unlike the Wald
+  interval);
+* :func:`bonferroni_alpha` — the per-comparison level for a family of
+  ``m`` tests at family-wise level ``alpha``;
+* :func:`parity_family` — run the whole family of pairwise comparisons
+  with Bonferroni correction and report every rejection.
+
+Only the standard library is used; the normal tail is computed from
+``math.erfc`` and its inverse by bisection, so the module works in any
+environment the repo supports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "ProportionTest",
+    "ParityVerdict",
+    "bonferroni_alpha",
+    "normal_sf",
+    "normal_isf",
+    "parity_family",
+    "two_proportion_test",
+    "wilson_interval",
+]
+
+
+def normal_sf(z: float) -> float:
+    """P(Z > z) for a standard normal — the one-sided tail."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def normal_isf(p: float) -> float:
+    """Inverse of :func:`normal_sf`: the z with upper-tail mass ``p``.
+
+    Solved by bisection on the monotone survivor function; 200
+    iterations pin the answer far past double precision for any
+    ``p`` in (0, 1).
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"tail probability must be in (0, 1), got {p}")
+    lo, hi = -40.0, 40.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if normal_sf(mid) > p:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def bonferroni_alpha(alpha: float, comparisons: int) -> float:
+    """Per-comparison significance level for ``comparisons`` tests."""
+    if comparisons < 1:
+        raise ValueError("comparisons must be >= 1")
+    return alpha / comparisons
+
+
+@dataclass(frozen=True)
+class ProportionTest:
+    """The outcome of one two-sided two-proportion z-test."""
+
+    z: float
+    p_value: float
+    rate1: float
+    rate2: float
+
+    def rejects(self, alpha: float) -> bool:
+        return self.p_value < alpha
+
+
+def two_proportion_test(
+    successes1: int, trials1: int, successes2: int, trials2: int
+) -> ProportionTest:
+    """Two-sided pooled z-test of ``H0: p1 == p2``.
+
+    Degenerate pools (both samples all-success or all-failure) have
+    zero pooled variance and identical rates; they report ``z == 0``.
+    """
+    if trials1 <= 0 or trials2 <= 0:
+        raise ValueError("both samples need at least one trial")
+    if not 0 <= successes1 <= trials1 or not 0 <= successes2 <= trials2:
+        raise ValueError("successes must lie within [0, trials]")
+    r1 = successes1 / trials1
+    r2 = successes2 / trials2
+    pooled = (successes1 + successes2) / (trials1 + trials2)
+    var = pooled * (1.0 - pooled) * (1.0 / trials1 + 1.0 / trials2)
+    if var <= 0.0:
+        return ProportionTest(z=0.0, p_value=1.0, rate1=r1, rate2=r2)
+    z = (r1 - r2) / math.sqrt(var)
+    return ProportionTest(
+        z=z, p_value=2.0 * normal_sf(abs(z)), rate1=r1, rate2=r2
+    )
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be >= 1")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie within [0, trials]")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    z = normal_isf((1.0 - confidence) / 2.0)
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = phat + z * z / (2.0 * trials)
+    spread = z * math.sqrt(
+        phat * (1.0 - phat) / trials + z * z / (4.0 * trials * trials)
+    )
+    return ((centre - spread) / denom, (centre + spread) / denom)
+
+
+@dataclass(frozen=True)
+class ParityVerdict:
+    """A family of pairwise comparisons, Bonferroni-corrected."""
+
+    comparisons: tuple[tuple[str, ProportionTest], ...]
+    alpha: float
+    per_comparison_alpha: float
+
+    @property
+    def rejections(self) -> tuple[str, ...]:
+        return tuple(
+            name
+            for name, test in self.comparisons
+            if test.rejects(self.per_comparison_alpha)
+        )
+
+    @property
+    def passed(self) -> bool:
+        return not self.rejections
+
+    @property
+    def worst(self) -> tuple[str, ProportionTest] | None:
+        if not self.comparisons:
+            return None
+        return max(self.comparisons, key=lambda item: abs(item[1].z))
+
+
+def parity_family(
+    samples: Iterable[tuple[str, Sequence[int]]],
+    alpha: float = 0.001,
+) -> ParityVerdict:
+    """Test a family of ``(name, (k1, n1, k2, n2))`` comparisons.
+
+    Returns a verdict whose :attr:`~ParityVerdict.passed` is True when
+    no comparison rejects at the Bonferroni-corrected level.
+    """
+    items = [
+        (name, two_proportion_test(*counts)) for name, counts in samples
+    ]
+    per = bonferroni_alpha(alpha, max(1, len(items)))
+    return ParityVerdict(
+        comparisons=tuple(items), alpha=alpha, per_comparison_alpha=per
+    )

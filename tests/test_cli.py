@@ -43,9 +43,66 @@ class TestCommands:
         assert code == 0
         assert "CoRR d=64 on K20" in capsys.readouterr().out
 
+    @pytest.mark.parametrize(
+        "spelling,canonical",
+        [
+            ("2.2w", "2+2W"),
+            ("2-2W", "2+2W"),
+            ("22w", "2+2W"),
+            ("3lb", "3.LB"),
+            ("3-LB", "3.LB"),
+            ("mp-f0", "MP-F0"),
+            ("MP.F0", "MP-F0"),
+        ],
+    )
+    def test_litmus_name_punctuation_normalised(
+        self, spelling, canonical, capsys
+    ):
+        # `+` and `.` names must resolve however the shell mangles the
+        # separators (regression: `2.2w` and `3lb` used to be rejected).
+        code = main([
+            "litmus", spelling, "--chip", "K20", "--distance", "64",
+            "--executions", "5",
+        ])
+        assert code == 0
+        assert f"{canonical} d=64 on K20" in capsys.readouterr().out
+
+    def test_survey_tests_filter_normalises_punctuation(self, capsys):
+        code = main([
+            "experiment", "survey", "--scale", "smoke",
+            "--chips", "K20", "--tests", "2.2w", "3-lb",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2+2W" in out and "3.LB" in out
+
     def test_litmus_unknown_name_rejected(self):
         with pytest.raises(SystemExit):
             main(["litmus", "MP+lwsync", "--executions", "5"])
+
+    def test_litmus_vector_backend(self, capsys):
+        code = main([
+            "litmus", "SB", "--chip", "K20", "--distance", "64",
+            "--executions", "4096", "--backend", "vector",
+        ])
+        assert code == 0
+        assert "[vector]" in capsys.readouterr().out
+
+    def test_survey_vector_backend(self, capsys):
+        code = main([
+            "experiment", "survey", "--scale", "smoke",
+            "--chips", "K20", "--tests", "MP", "--backend", "vector",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vector backend" in out
+
+    def test_backend_flag_rejected_outside_survey(self, capsys):
+        code = main([
+            "experiment", "table1", "--backend", "vector",
+        ])
+        assert code == 2
+        assert "--backend" in capsys.readouterr().err
 
     def test_litmus_engine_backend(self, capsys):
         code = main([

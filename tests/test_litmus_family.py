@@ -150,6 +150,37 @@ class TestConditionIR:
 
 
 # ----------------------------------------------------------------------
+# registry lookup
+# ----------------------------------------------------------------------
+class TestNameLookup:
+    def test_case_insensitive(self):
+        assert get_test("mp").name == "MP"
+        assert get_test("iriw").name == "IRIW"
+
+    @pytest.mark.parametrize(
+        "spelling,canonical",
+        [
+            ("2+2W", "2+2W"),
+            ("2.2w", "2+2W"),
+            ("2-2w", "2+2W"),
+            ("22W", "2+2W"),
+            ("3.LB", "3.LB"),
+            ("3lb", "3.LB"),
+            ("3+lb", "3.LB"),
+            ("mp.ff", "MP-FF"),
+            ("MPF0", "MP-F0"),
+        ],
+    )
+    def test_separator_punctuation_normalised(self, spelling, canonical):
+        assert get_test(spelling).name == canonical
+
+    def test_unknown_names_still_rejected(self):
+        for bad in ("MP+lwsync", "4.LB", "2+3W", ""):
+            with pytest.raises(ValueError, match="unknown litmus test"):
+                get_test(bad)
+
+
+# ----------------------------------------------------------------------
 # SC soundness
 # ----------------------------------------------------------------------
 class TestSCUnreachability:

@@ -1,0 +1,166 @@
+"""Cross-backend metamorphic tests: renaming must not change rates.
+
+Two metamorphic relations over the litmus registry:
+
+* **Location renaming** — rewriting every location name (``x`` -> ``a``,
+  ...) preserves the layout order, so all three backends must produce
+  *bit-identical* weak counts at a fixed seed.
+* **Thread renaming** — permuting the thread tuple changes SM placement
+  and tie-break ranks but not the memory semantics; weak rates must be
+  statistically unchanged (two-sided two-proportion test at α = 0.001)
+  on every backend.
+"""
+
+import pytest
+
+from repro.chips import get_chip
+from repro.litmus import (
+    get_test,
+    run_litmus,
+    run_litmus_compiled,
+    run_litmus_vector,
+)
+from repro.litmus.ir import And, LocEq, Or, RegEq
+from repro.litmus.tests import LitmusTest
+from repro.stress.strategies import TunedStress
+from repro.testing.stats import parity_family
+from repro.tuning.pipeline import shipped_params
+
+#: Renaming keeps ``name`` so derived seed streams stay comparable;
+#: the rewritten test is never registered.
+_LOC_MAP = {"x": "a", "y": "b", "z": "c", "w": "d"}
+
+
+def _rename_condition(cond, mapping):
+    if isinstance(cond, LocEq):
+        return LocEq(mapping.get(cond.loc, cond.loc), cond.value)
+    if isinstance(cond, RegEq):
+        return cond
+    terms = tuple(_rename_condition(t, mapping) for t in cond.terms)
+    return And(*terms) if isinstance(cond, And) else Or(*terms)
+
+
+def rename_locations(test: LitmusTest, mapping=None) -> LitmusTest:
+    mapping = mapping or _LOC_MAP
+    def rewrite(ins):
+        if ins[0] in ("st", "ld"):
+            return (ins[0], mapping.get(ins[1], ins[1]), ins[2])
+        if ins[0] == "rmw":
+            return (ins[0], mapping.get(ins[1], ins[1]), ins[2], ins[3])
+        return ins
+    return LitmusTest(
+        name=test.name,
+        description=test.description,
+        threads=tuple(
+            tuple(rewrite(i) for i in p) for p in test.threads
+        ),
+        forbidden=_rename_condition(test.forbidden, mapping),
+    )
+
+
+def permute_threads(test: LitmusTest, perm) -> LitmusTest:
+    return LitmusTest(
+        name=test.name,
+        description=test.description,
+        threads=tuple(test.threads[i] for i in perm),
+        forbidden=test.forbidden,
+    )
+
+
+def _tuned(chip):
+    return TunedStress(shipped_params(chip.short_name))
+
+
+class TestLocationRenaming:
+    """Same layout order, new names: bit-identical on every backend."""
+
+    @pytest.mark.parametrize("name", ["MP", "SB", "2+2W", "WRC", "3.LB"])
+    def test_direct_backend_invariant(self, name, k20):
+        d = 2 * k20.patch_size
+        test = get_test(name)
+        renamed = rename_locations(test)
+        assert renamed.locations != test.locations
+        a = run_litmus(k20, test, d, _tuned(k20), 200, seed=7)
+        b = run_litmus(k20, renamed, d, _tuned(k20), 200, seed=7)
+        assert a.weak == b.weak
+
+    @pytest.mark.parametrize("name", ["MP", "SB", "2+2W", "IRIW"])
+    def test_vector_backend_invariant(self, name, k20):
+        d = 2 * k20.patch_size
+        test = get_test(name)
+        a = run_litmus_vector(k20, test, d, _tuned(k20), 4096, seed=7)
+        b = run_litmus_vector(
+            k20, rename_locations(test), d, _tuned(k20), 4096, seed=7
+        )
+        assert a.weak == b.weak
+
+    @pytest.mark.parametrize("name", ["MP", "SB"])
+    def test_engine_backend_invariant(self, name, k20):
+        d = 2 * k20.patch_size
+        test = get_test(name)
+        a = run_litmus_compiled(k20, test, d, _tuned(k20), 24, seed=7)
+        b = run_litmus_compiled(
+            k20, rename_locations(test), d, _tuned(k20), 24, seed=7
+        )
+        assert a.weak == b.weak
+
+
+class TestThreadRenaming:
+    """Permuted thread tuples: statistically unchanged rates."""
+
+    @pytest.mark.slow
+    def test_vector_backend_rates_unchanged(self, k20):
+        d = 2 * k20.patch_size
+        spec = _tuned(k20)
+        n = 8192
+        samples = []
+        for name in ("MP", "SB", "2+2W", "WRC", "IRIW"):
+            test = get_test(name)
+            reversed_ = permute_threads(
+                test, range(test.n_threads - 1, -1, -1)
+            )
+            a = run_litmus_vector(k20, test, d, spec, n, seed=7)
+            b = run_litmus_vector(k20, reversed_, d, spec, n, seed=7)
+            samples.append((name, (a.weak, n, b.weak, n)))
+        verdict = parity_family(samples, alpha=0.001)
+        assert verdict.passed, (
+            f"thread renaming shifted rates: {verdict.rejections}"
+        )
+
+    @pytest.mark.slow
+    def test_direct_backend_rates_unchanged(self, k20):
+        d = 2 * k20.patch_size
+        spec = _tuned(k20)
+        n = 800
+        samples = []
+        for name in ("SB", "IRIW"):
+            test = get_test(name)
+            reversed_ = permute_threads(
+                test, range(test.n_threads - 1, -1, -1)
+            )
+            a = run_litmus(k20, test, d, spec, n, seed=7)
+            b = run_litmus(k20, reversed_, d, spec, n, seed=7)
+            samples.append((name, (a.weak, n, b.weak, n)))
+        verdict = parity_family(samples, alpha=0.001)
+        assert verdict.passed, (
+            f"thread renaming shifted rates: {verdict.rejections}"
+        )
+
+    def test_engine_backend_rates_unchanged(self, k20):
+        d = 2 * k20.patch_size
+        test = get_test("SB")
+        swapped = permute_threads(test, (1, 0))
+        n = 24
+        a = run_litmus_compiled(k20, test, d, _tuned(k20), n, seed=7)
+        b = run_litmus_compiled(k20, swapped, d, _tuned(k20), n, seed=7)
+        verdict = parity_family(
+            [("SB", (a.weak, n, b.weak, n))], alpha=0.001
+        )
+        assert verdict.passed
+
+    def test_identity_permutation_is_bit_identical(self, k20):
+        test = get_test("WRC")
+        same = permute_threads(test, range(test.n_threads))
+        a = run_litmus_vector(k20, test, 128, _tuned(k20), 4096, seed=3)
+        b = run_litmus_vector(k20, same, 128, _tuned(k20), 4096, seed=3)
+        assert a.weak == b.weak

@@ -110,6 +110,82 @@ class TestContentKeys:
         assert litmus_key(**base) != litmus_key(**base, randomise=True)
 
 
+class TestBackendKeying:
+    """direct/engine/vector results of one test never collide, and a
+    resume never satisfies one backend's work with another's records."""
+
+    _COORDS = dict(chip="K20", test="MP", stress="no-str", distance=64,
+                   executions=100, seed=0)
+
+    def test_three_backends_three_keys(self):
+        keys = {
+            litmus_key(**self._COORDS, backend=b)
+            for b in ("direct", "engine", "vector")
+        }
+        assert len(keys) == 3
+
+    def test_ledger_lookup_isolated_per_backend(self, tmp_path):
+        ledger = RunLedger.create(tmp_path / "ledger")
+        vector_key = litmus_key(**self._COORDS, backend="vector")
+        result = dataclasses.replace(LITMUS, backend="vector")
+        ledger.append(
+            store_records.encode_litmus(
+                vector_key, result, chip="K20", seed=0
+            )
+        )
+        reopened = RunLedger.open(tmp_path / "ledger")
+        assert reopened.get(vector_key) is not None
+        for other in ("direct", "engine"):
+            assert reopened.get(
+                litmus_key(**self._COORDS, backend=other)
+            ) is None
+
+    def test_decode_preserves_backend_field(self, tmp_path):
+        ledger = RunLedger.create(tmp_path / "ledger")
+        key = litmus_key(**self._COORDS, backend="vector")
+        result = dataclasses.replace(LITMUS, backend="vector")
+        ledger.append(store_records.encode_litmus(key, result))
+        decoded = decode(RunLedger.open(tmp_path / "ledger").get(key))
+        assert decoded.backend == "vector"
+        assert decoded == result
+
+    def test_survey_resume_never_crosses_backends(self, tmp_path):
+        # A completed vector survey must not satisfy a direct survey's
+        # resume: the direct run appends its own records under its own
+        # keys instead of reusing the vector ones.
+        kwargs = dict(
+            scale=TINY, seed=0, chips=("K20",), tests=("MP", "SB")
+        )
+        run_experiment(
+            "survey", out=str(tmp_path / "ledger"),
+            backend="vector", **kwargs,
+        )
+        after_vector = len(RunLedger.open(tmp_path / "ledger"))
+        assert after_vector > 0
+        run_experiment(
+            "survey", resume=str(tmp_path / "ledger"),
+            out=str(tmp_path / "ledger"), backend="direct", **kwargs,
+        )
+        after_direct = len(RunLedger.open(tmp_path / "ledger"))
+        assert after_direct == 2 * after_vector
+
+    def test_survey_resume_reuses_same_backend(self, tmp_path):
+        kwargs = dict(
+            scale=TINY, seed=0, chips=("K20",), tests=("MP",)
+        )
+        first = run_experiment(
+            "survey", out=str(tmp_path / "ledger"),
+            backend="vector", **kwargs,
+        )
+        size = len(RunLedger.open(tmp_path / "ledger"))
+        second = run_experiment(
+            "survey", resume=str(tmp_path / "ledger"),
+            backend="vector", **kwargs,
+        )
+        assert second == first
+        assert len(RunLedger.open(tmp_path / "ledger")) == size
+
+
 class TestRoundTrip:
     def _ledger(self, tmp_path):
         return RunLedger.create(tmp_path / "ledger")
