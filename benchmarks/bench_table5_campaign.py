@@ -14,9 +14,21 @@ The full 7 x 8 grid is available via
 Set ``REPRO_BENCH_JOBS=N`` to shard the campaign across N worker
 processes; the grid statistics (and these assertions) are identical at
 any job count.
+
+``test_table5_dist_scaling`` additionally A/Bs the same campaign
+through the distributed backend at one vs two socket workers and
+records cells/s plus scaling efficiency into ``REPRO_BENCH_JSON``.  On
+single-CPU hosts the A/B is skipped (two workers time-slicing one core
+cannot speed anything up) with the reason logged into the same record.
 """
 
+import os
+import time
+
+import pytest
+
 from repro.chips import get_chip
+from repro.dist import DistributedSubmit
 from repro.reporting.tables import render_table
 from repro.testing import run_campaign, table5_summary
 from repro.testing.summary import most_capable_environment
@@ -61,3 +73,59 @@ def test_table5_k20(benchmark, bench_scale, bench_parallel):
     # Fence-sufficient applications never err (paper Sec. 4.3).
     for app in ("sdk-red", "cub-scan"):
         assert by_app[(app, "sys-str+")].errors == 0
+
+
+def test_table5_dist_scaling(bench_scale, bench_json):
+    """One vs two distributed workers over the same campaign grid.
+
+    Measures cells/s at each worker count and the two-worker scaling
+    efficiency (speedup / workers); the byte-identity of the two runs
+    is asserted as a side effect.  The >=1.6x speedup assertion only
+    applies on multi-core hosts — a single CPU time-slicing two worker
+    processes proves coordination correctness but not throughput, so
+    the A/B is skipped there with the reason logged into the JSON
+    artefact.
+    """
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        reason = (
+            f"dist A/B needs >= 2 CPUs for a meaningful speedup; "
+            f"host has {cpus}"
+        )
+        bench_json["dist_table5_ab"] = {
+            "skipped": True,
+            "reason": reason,
+            "cpus": cpus,
+        }
+        print(f"\ndist A/B skipped: {reason}")
+        pytest.skip(reason)
+
+    chip = get_chip("K20")
+    args = dict(
+        chips=[chip], environments=list(ENVS), scale=bench_scale, seed=4
+    )
+    wall: dict[int, float] = {}
+    cells: dict[int, list] = {}
+    for workers in (1, 2):
+        started = time.perf_counter()
+        cells[workers] = run_campaign(
+            **args, submit=DistributedSubmit(workers=workers)
+        )
+        wall[workers] = time.perf_counter() - started
+    assert cells[1] == cells[2]  # worker count never changes results
+
+    n_cells = len(cells[1])
+    speedup = wall[1] / wall[2]
+    record = {
+        "cells": n_cells,
+        "cpus": cpus,
+        "wall_s": {str(w): round(wall[w], 3) for w in wall},
+        "cells_per_s": {
+            str(w): round(n_cells / wall[w], 3) for w in wall
+        },
+        "speedup_2_workers": round(speedup, 3),
+        "scaling_efficiency": round(speedup / 2, 3),
+    }
+    bench_json["dist_table5_ab"] = record
+    print(f"\ndist A/B: {record}")
+    assert speedup >= 1.6

@@ -38,23 +38,27 @@ def main() -> None:
 
     print("2. Campaign writing to the ledger, interrupted mid-run...")
     import repro.testing.campaign as campaign
+    from repro.parallel import run_units
 
-    real_map = campaign.parallel_map
+    real_submit_units = campaign.submit_units
 
-    def interrupting_map(fn, items, config, on_result=None):
+    def interrupting_submit_units(units, config, ledger, submit=None):
         count = 0
 
-        def counting(index, result):
-            nonlocal count
-            if on_result is not None:
-                on_result(index, result)
-            count += 1
-            if count >= 2:  # simulate a kill after two shards
-                raise KeyboardInterrupt
+        def interrupting_submit(batch, cfg, on_record):
+            def counting(index, record):
+                nonlocal count
+                if on_record is not None:
+                    on_record(index, record)
+                count += 1
+                if count >= 2:  # simulate a kill after two shards
+                    raise KeyboardInterrupt
 
-        return real_map(fn, items, config, counting)
+            return run_units(batch, cfg, counting)
 
-    campaign.parallel_map = interrupting_map
+        return real_submit_units(units, config, ledger, interrupting_submit)
+
+    campaign.submit_units = interrupting_submit_units
     try:
         run_experiment(
             "table5", scale=SCALE, seed=7, chips=CHIPS,
@@ -63,7 +67,7 @@ def main() -> None:
     except KeyboardInterrupt:
         print("   ... interrupted (as planned)")
     finally:
-        campaign.parallel_map = real_map
+        campaign.submit_units = real_submit_units
 
     survivors = RunLedger.open(ledger_dir)
     print(f"   ledger after the kill: {survivors.counts_by_kind()}")

@@ -8,6 +8,9 @@ Subcommands:
 * ``litmus`` — run one litmus test under a stressing configuration;
 * ``test-app`` — run one application under a testing environment;
 * ``harden`` — empirical fence insertion for one application/chip;
+* ``coordinate`` — serve an experiment's work units to socket workers
+  (scale-out across machines; ``--dist N`` self-spawns local workers);
+* ``worker`` — join a coordinator and execute leased work units;
 * ``chips`` / ``apps`` / ``tests`` — list the registries.
 
 Every run-loop subcommand accepts ``--jobs N`` to shard its work across
@@ -32,7 +35,12 @@ from .hardening.insertion import empirical_fence_insertion
 from .litmus import BACKENDS
 from .litmus.tests import ALL_TESTS, get_test, test_names
 from .parallel import ParallelConfig
-from .reporting.experiments import EXPERIMENTS, open_ledger, run_experiment
+from .reporting.experiments import (
+    DISTRIBUTABLE,
+    EXPERIMENTS,
+    open_ledger,
+    run_experiment,
+)
 from .store import litmus_key, records as store_records, stress_token
 from .scale import get_scale
 from .stress.environment import ENVIRONMENT_ORDER, standard_environments
@@ -123,7 +131,12 @@ def _ledger(args: argparse.Namespace):
     return open_ledger(args.out, args.resume)
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
+def _experiment_kwargs(args: argparse.Namespace) -> dict[str, object]:
+    """Per-experiment keyword arguments from the shared filter flags.
+
+    Raises :class:`ReproError` on a flag/experiment mismatch (rendered
+    as a usage error by the callers).
+    """
     kwargs: dict[str, object] = {}
     if args.chips:
         # Experiments centred on a single chip take ``chip``; the grid
@@ -131,12 +144,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         # registry renders and ignore the filter.
         if args.id in ("table3", "table6"):
             if len(args.chips) > 1:
-                print(
-                    f"gpu-wmm: error: experiment {args.id} runs on a "
-                    f"single chip; got --chips {' '.join(args.chips)}",
-                    file=sys.stderr,
+                raise ReproError(
+                    f"experiment {args.id} runs on a single chip; "
+                    f"got --chips {' '.join(args.chips)}"
                 )
-                return 2
             kwargs["chip"] = args.chips[0]
         elif args.id in ("fig3", "table2", "fig4", "table5", "fig5",
                          "survey"):
@@ -145,22 +156,27 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["environments"] = tuple(args.environments)
     if args.tests:
         if args.id != "survey":
-            print(
-                f"gpu-wmm: error: --tests only applies to the survey "
-                f"experiment, not {args.id}",
-                file=sys.stderr,
+            raise ReproError(
+                "--tests only applies to the survey experiment, "
+                f"not {args.id}"
             )
-            return 2
         kwargs["tests"] = tuple(args.tests)
     if args.backend:
         if args.id != "survey":
-            print(
-                f"gpu-wmm: error: --backend only applies to the survey "
-                f"experiment, not {args.id}",
-                file=sys.stderr,
+            raise ReproError(
+                "--backend only applies to the survey experiment, "
+                f"not {args.id}"
             )
-            return 2
         kwargs["backend"] = args.backend
+    return kwargs
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    try:
+        kwargs = _experiment_kwargs(args)
+    except ReproError as exc:
+        print(f"gpu-wmm: error: {exc}", file=sys.stderr)
+        return 2
     try:
         text = run_experiment(
             args.id,
@@ -169,6 +185,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             out=args.out,
             resume=args.resume,
+            dist=args.dist,
             **kwargs,
         )
     except (ReproError, ValueError) as exc:
@@ -177,6 +194,74 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"gpu-wmm: error: {exc}", file=sys.stderr)
         return 2
     print(text)
+    return 0
+
+
+def _stderr_log(message: str) -> None:
+    """Distributed-run progress goes to stderr so stdout stays exactly
+    the experiment's table (diffable against a serial run)."""
+    print(f"gpu-wmm: {message}", file=sys.stderr)
+
+
+def _parse_connect(value: str) -> tuple[str, int]:
+    """Parse a ``host:port`` target."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise ReproError(
+            f"--connect expects host:port, got {value!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ReproError(
+            f"--connect expects a numeric port, got {port!r}"
+        ) from None
+
+
+def _cmd_coordinate(args: argparse.Namespace) -> int:
+    from .dist import DistributedSubmit
+
+    submit = DistributedSubmit(
+        workers=args.dist,
+        host=args.host,
+        port=args.port,
+        lease_timeout=args.lease_timeout,
+        units_per_lease=args.lease_units,
+        worker_jobs=args.worker_jobs,
+        log=_stderr_log,
+    )
+    try:
+        text = run_experiment(
+            args.id,
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            out=args.out,
+            resume=args.resume,
+            submit=submit,
+            **_experiment_kwargs(args),
+        )
+    except (ReproError, ValueError) as exc:
+        print(f"gpu-wmm: error: {exc}", file=sys.stderr)
+        return 2
+    print(text)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .dist import run_worker
+
+    host, port = _parse_connect(args.connect)
+    run_worker(
+        host,
+        port,
+        name=args.name,
+        jobs=args.jobs if args.jobs is not None else 1,
+        max_units=args.max_units,
+        delay=args.delay,
+        connect_timeout=args.connect_timeout,
+        log=_stderr_log,
+    )
     return 0
 
 
@@ -304,6 +389,14 @@ def _epilog() -> str:
             "  processes (0 = one per CPU).  Statistics are identical",
             "  at any job count; only wall-clock time changes.",
             "",
+            "distributed campaigns:",
+            "  pass --dist N to an experiment to serve its work units",
+            "  to N local worker subprocesses via the lease",
+            "  coordinator, or run 'gpu-wmm coordinate <id> --host",
+            "  0.0.0.0 --port 7077' and join workers from any machine",
+            "  with 'gpu-wmm worker --connect host:7077'.  Results are",
+            "  byte-identical to a serial run at any worker count.",
+            "",
             "persistent run ledger:",
             "  pass --out DIR to checkpoint completed results into an",
             "  append-only ledger as they finish, and --resume DIR to",
@@ -325,6 +418,10 @@ def _epilog() -> str:
             "      --chips K20 --environments no-str- sys-str+",
             "  gpu-wmm experiment table5 --scale paper --out ledger/",
             "  gpu-wmm experiment table5 --scale paper --resume ledger/",
+            "  gpu-wmm experiment table5 --dist 2   # 2 local workers",
+            "  gpu-wmm coordinate table5 --host 0.0.0.0 --port 7077 \\",
+            "      --scale paper --out ledger/",
+            "  gpu-wmm worker --connect big-box:7077 --jobs 0",
             "  gpu-wmm harden cbe-dot --chip Titan --jobs 0",
         ]
     )
@@ -342,6 +439,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_experiment_filters(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--chips",
+            nargs="+",
+            choices=_CHIP_NAMES,
+            default=None,
+            metavar="CHIP",
+            help=(
+                "restrict to these chips "
+                f"(choices: {', '.join(_CHIP_NAMES)}; default: the "
+                "experiment's own selection)"
+            ),
+        )
+        p.add_argument(
+            "--environments",
+            nargs="+",
+            choices=ENVIRONMENT_ORDER,
+            default=None,
+            metavar="ENV",
+            help=(
+                "restrict table5 to these environments "
+                f"(choices: {', '.join(ENVIRONMENT_ORDER)})"
+            ),
+        )
+        p.add_argument(
+            "--tests",
+            nargs="+",
+            type=_test_arg,
+            default=None,
+            metavar="TEST",
+            help=(
+                "restrict the survey experiment to these litmus tests "
+                f"(choices: {', '.join(_TEST_NAMES)})"
+            ),
+        )
+        p.add_argument(
+            "--backend",
+            default=None,
+            choices=tuple(BACKENDS),
+            help=(
+                "litmus backend for the survey experiment "
+                f"(choices: {', '.join(BACKENDS)}; default: the "
+                "scale's litmus_backend knob)"
+            ),
+        )
+
     p = sub.add_parser(
         "experiment",
         help="regenerate a paper artefact (table1..table6, fig3..fig5)",
@@ -351,52 +494,130 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(EXPERIMENTS),
         help="paper table/figure to regenerate",
     )
+    add_experiment_filters(p)
     p.add_argument(
-        "--chips",
-        nargs="+",
-        choices=_CHIP_NAMES,
+        "--dist",
+        type=_jobs_arg,
         default=None,
-        metavar="CHIP",
+        metavar="N",
         help=(
-            "restrict to these chips "
-            f"(choices: {', '.join(_CHIP_NAMES)}; default: the "
-            "experiment's own selection)"
-        ),
-    )
-    p.add_argument(
-        "--environments",
-        nargs="+",
-        choices=ENVIRONMENT_ORDER,
-        default=None,
-        metavar="ENV",
-        help=(
-            "restrict table5 to these environments "
-            f"(choices: {', '.join(ENVIRONMENT_ORDER)})"
-        ),
-    )
-    p.add_argument(
-        "--tests",
-        nargs="+",
-        type=_test_arg,
-        default=None,
-        metavar="TEST",
-        help=(
-            "restrict the survey experiment to these litmus tests "
-            f"(choices: {', '.join(_TEST_NAMES)})"
-        ),
-    )
-    p.add_argument(
-        "--backend",
-        default=None,
-        choices=tuple(BACKENDS),
-        help=(
-            "litmus backend for the survey experiment "
-            f"(choices: {', '.join(BACKENDS)}; default: the scale's "
-            "litmus_backend knob)"
+            "serve the experiment's work units to N local worker "
+            "subprocesses through the lease coordinator (distributable "
+            f"experiments: {', '.join(sorted(DISTRIBUTABLE))}; results "
+            "are byte-identical to a local run)"
         ),
     )
     _add_common(p)
     p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser(
+        "coordinate",
+        help=(
+            "serve an experiment's work units to socket workers "
+            "(remote machines join with: gpu-wmm worker --connect)"
+        ),
+    )
+    p.add_argument(
+        "id",
+        choices=sorted(DISTRIBUTABLE),
+        help="distributable experiment to coordinate",
+    )
+    add_experiment_filters(p)
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help=(
+            "interface to listen on (default: 127.0.0.1; use 0.0.0.0 "
+            "to accept workers from other machines)"
+        ),
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to listen on (default: 0 = OS-assigned ephemeral)",
+    )
+    p.add_argument(
+        "--dist",
+        type=_jobs_arg,
+        default=0,
+        metavar="N",
+        help=(
+            "also self-spawn N local worker subprocesses (default: 0 = "
+            "wait for external workers only)"
+        ),
+    )
+    p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help=(
+            "seconds a silent worker holds a lease before its units "
+            "are reassigned (default: 60)"
+        ),
+    )
+    p.add_argument(
+        "--lease-units",
+        type=int,
+        default=1,
+        metavar="N",
+        help="work units granted per lease (default: 1)",
+    )
+    p.add_argument(
+        "--worker-jobs",
+        type=_jobs_arg,
+        default=1,
+        metavar="N",
+        help="process-pool width inside each self-spawned worker",
+    )
+    _add_common(p)
+    p.set_defaults(fn=_cmd_coordinate)
+
+    p = sub.add_parser(
+        "worker",
+        help="join a coordinator and execute leased work units",
+    )
+    p.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (as printed by gpu-wmm coordinate)",
+    )
+    p.add_argument(
+        "--name",
+        default="worker",
+        help="worker name shown in coordinator logs",
+    )
+    p.add_argument(
+        "--max-units",
+        type=int,
+        default=None,
+        metavar="N",
+        help="leave voluntarily after executing N units",
+    )
+    p.add_argument(
+        "--delay",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="sleep S seconds before each lease (straggler simulation)",
+    )
+    p.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="keep retrying the initial connect for S seconds",
+    )
+    p.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=None,
+        metavar="N",
+        help="process-pool width for executing each lease (default: 1)",
+    )
+    p.set_defaults(fn=_cmd_worker)
 
     p = sub.add_parser("chips", help="list the chip registry")
     p.set_defaults(fn=_cmd_chips)

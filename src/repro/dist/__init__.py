@@ -1,0 +1,38 @@
+"""Scale-out execution: lease-based coordination over TCP workers.
+
+The distributed layer moves :class:`~repro.parallel.plan.WorkUnit`
+plans across machines without moving any correctness responsibility:
+results are keyed and seeded identically wherever they run, so the
+coordinator's content-key merge is provably byte-identical to a
+single-machine run.  See ``docs/ARCHITECTURE.md`` ("Distributed
+campaigns") for the frame format, the lease lifecycle, and the merge
+invariants.
+"""
+
+from .coordinator import Coordinator
+from .leases import Lease, LeaseTable
+from .protocol import (
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+    recv_message,
+    send_message,
+)
+from .submit import DistributedSubmit, worker_command
+from .worker import run_worker
+
+__all__ = [
+    "Coordinator",
+    "DistributedSubmit",
+    "FrameDecoder",
+    "Lease",
+    "LeaseTable",
+    "MAX_FRAME",
+    "PROTOCOL_VERSION",
+    "encode_frame",
+    "recv_message",
+    "run_worker",
+    "send_message",
+    "worker_command",
+]

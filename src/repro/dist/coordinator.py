@@ -1,0 +1,358 @@
+"""The campaign coordinator: leases out units, merges results exactly.
+
+One coordinator serves one plan (a sequence of
+:class:`~repro.parallel.plan.WorkUnit`).  Workers connect over TCP
+(:mod:`repro.dist.protocol`), request leases, and stream back one
+:class:`~repro.store.records.RunRecord` per unit.  The coordinator is a
+single-threaded ``selectors`` event loop — no locks, no threads — and
+every failure mode reduces to the same move: a lease whose worker
+vanished (EOF) or hung (deadline passed) re-pends its units for the
+next requester.
+
+The merge is by content key and idempotent: a reassigned lease coming
+back twice folds to one record when payloads agree and raises
+:class:`~repro.errors.LedgerConflictError` when they disagree (which,
+under the determinism contract, can only mean corruption).  Coverage is
+validated exactly — :meth:`Coordinator.serve` returns records for *all*
+units in unit order or raises :class:`~repro.errors.DistError` — so a
+distributed campaign is provably the same bytes as a serial one.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+from typing import Callable, Sequence
+
+from ..errors import DistError, LedgerConflictError, ProtocolError
+from ..parallel.plan import WorkUnit
+from ..store.records import RunRecord
+from .leases import LeaseTable
+from .protocol import PROTOCOL_VERSION, FrameDecoder, send_message
+
+#: How long an idle worker is told to wait before re-requesting work.
+WAIT_RETRY_S = 0.5
+
+#: Ceiling on one select() sleep, so expiry and stop checks stay timely.
+_POLL_CAP_S = 1.0
+
+
+class _Client:
+    """Per-connection state: decoder buffer plus the worker identity."""
+
+    def __init__(self, sock: socket.socket, ident: str):
+        self.sock = sock
+        self.decoder = FrameDecoder()
+        #: Unique per-connection identity (two workers may share a
+        #: ``--name``; leases must not).
+        self.ident = ident
+        self.helloed = False
+
+
+class Coordinator:
+    """Serve one work plan to any number of socket workers.
+
+    Parameters mirror the lease model: ``lease_timeout`` is how long a
+    silent worker holds its units, ``units_per_lease`` trades dispatch
+    round-trips against reassignment granularity.  ``on_record(index,
+    record)`` streams each *fresh* merged record back in completion
+    order — the same checkpointing hook the local pool backend uses, so
+    :func:`~repro.store.resume.submit_units` works unchanged on top.
+
+    ``stop_check`` (also assignable after construction) is polled every
+    loop iteration and returns a reason string to abort — the
+    self-spawning local backend uses it to fail fast when every worker
+    subprocess has died rather than wait forever for a connect.
+    """
+
+    def __init__(
+        self,
+        units: Sequence[WorkUnit],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout: float = 60.0,
+        units_per_lease: int = 1,
+        on_record: Callable[[int, RunRecord], None] | None = None,
+        stop_check: Callable[[], str | None] | None = None,
+        log: Callable[[str], None] | None = None,
+    ):
+        self.units = list(units)
+        self.host = host
+        self.port = port
+        self.lease_timeout = lease_timeout
+        self.on_record = on_record
+        self.stop_check = stop_check
+        self.log = log or (lambda message: None)
+        self._table = LeaseTable(
+            n_units=len(self.units),
+            timeout=lease_timeout,
+            units_per_lease=units_per_lease,
+        )
+        self._key_to_index = {
+            unit.key: i for i, unit in enumerate(self.units)
+        }
+        if len(self._key_to_index) != len(self.units):
+            raise DistError(
+                "work plan has duplicate content keys; every unit must "
+                "be uniquely keyed for the merge to be exact"
+            )
+        self._records: dict[int, RunRecord] = {}
+        self._listener: socket.socket | None = None
+        self._conn_count = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def bind(self) -> tuple[str, int]:
+        """Bind the listening socket; returns ``(host, port)`` with the
+        OS-assigned port resolved (``port=0`` requests an ephemeral
+        one).  Idempotent."""
+        if self._listener is None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            listener.listen(16)
+            self._listener = listener
+            self.port = listener.getsockname()[1]
+        return self.host, self.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    def serve(self) -> list[RunRecord]:
+        """Run the event loop to completion; records in unit order.
+
+        Returns only when every unit's record has merged; a coverage
+        hole (impossible unless the loop is aborted) or an exhausted
+        worker fleet raises :class:`~repro.errors.DistError`.
+        """
+        self.bind()
+        assert self._listener is not None
+        selector = selectors.DefaultSelector()
+        selector.register(self._listener, selectors.EVENT_READ, None)
+        clients: dict[socket.socket, _Client] = {}
+        self.log(
+            f"coordinator serving {len(self.units)} units "
+            f"on {self.host}:{self.port}"
+        )
+        try:
+            while not self._table.done:
+                if self.stop_check is not None:
+                    reason = self.stop_check()
+                    if reason:
+                        raise DistError(f"coordination aborted: {reason}")
+                for key, _ in selector.select(self._poll_timeout()):
+                    if key.data is None:
+                        self._accept(selector, clients)
+                    else:
+                        self._service(key.data, selector, clients)
+                for lease in self._table.expire():
+                    self.log(
+                        f"lease {lease.lease_id} ({lease.worker}) "
+                        f"expired; re-pending units {list(lease.indices)}"
+                    )
+            for client in clients.values():
+                try:
+                    send_message(client.sock, {"type": "done"})
+                except OSError:  # pragma: no cover - racing disconnect
+                    pass
+        finally:
+            for sock in list(clients):
+                sock.close()
+            selector.close()
+            self._listener.close()
+            self._listener = None
+        return self._merged()
+
+    # -- event handling -------------------------------------------------
+    def _poll_timeout(self) -> float:
+        deadline = self._table.next_deadline()
+        if deadline is None:
+            return _POLL_CAP_S
+        return min(_POLL_CAP_S, max(0.0, deadline - self._table.now()))
+
+    def _accept(
+        self,
+        selector: selectors.BaseSelector,
+        clients: dict[socket.socket, _Client],
+    ) -> None:
+        assert self._listener is not None
+        sock, addr = self._listener.accept()
+        self._conn_count += 1
+        client = _Client(sock, ident=f"conn-{self._conn_count}")
+        clients[sock] = client
+        selector.register(sock, selectors.EVENT_READ, client)
+        self.log(f"worker connected from {addr[0]}:{addr[1]}")
+
+    def _drop(
+        self,
+        client: _Client,
+        selector: selectors.BaseSelector,
+        clients: dict[socket.socket, _Client],
+    ) -> None:
+        """Close a connection and immediately re-pend its leases — the
+        ``kill -9`` path (the OS closes the dead worker's sockets, so
+        EOF arrives long before any lease deadline would)."""
+        released = self._table.release_worker(client.ident)
+        for lease in released:
+            self.log(
+                f"worker {client.ident} gone; re-pending lease "
+                f"{lease.lease_id} units {list(lease.indices)}"
+            )
+        selector.unregister(client.sock)
+        del clients[client.sock]
+        client.sock.close()
+
+    def _service(
+        self,
+        client: _Client,
+        selector: selectors.BaseSelector,
+        clients: dict[socket.socket, _Client],
+    ) -> None:
+        try:
+            data = client.sock.recv(65536)
+        except (ConnectionResetError, OSError):
+            data = b""
+        if not data:
+            self._drop(client, selector, clients)
+            return
+        try:
+            messages = client.decoder.feed(data)
+        except ProtocolError as exc:
+            self.log(f"protocol error from {client.ident}: {exc}")
+            try:
+                send_message(
+                    client.sock, {"type": "error", "message": str(exc)}
+                )
+            except OSError:
+                pass
+            self._drop(client, selector, clients)
+            return
+        for message in messages:
+            self._handle(client, message, selector, clients)
+            if client.sock not in clients:
+                break  # connection was dropped mid-batch
+
+    def _handle(
+        self,
+        client: _Client,
+        message: dict,
+        selector: selectors.BaseSelector,
+        clients: dict[socket.socket, _Client],
+    ) -> None:
+        kind = message["type"]
+        if kind == "hello":
+            if message.get("protocol") != PROTOCOL_VERSION:
+                send_message(
+                    client.sock,
+                    {
+                        "type": "error",
+                        "message": (
+                            f"protocol {message.get('protocol')!r} != "
+                            f"coordinator protocol {PROTOCOL_VERSION}"
+                        ),
+                    },
+                )
+                self._drop(client, selector, clients)
+                return
+            name = message.get("worker") or "worker"
+            client.ident = f"{name}#{client.ident}"
+            client.helloed = True
+            send_message(
+                client.sock,
+                {
+                    "type": "welcome",
+                    "protocol": PROTOCOL_VERSION,
+                    "units_total": len(self.units),
+                },
+            )
+        elif not client.helloed:
+            send_message(
+                client.sock,
+                {"type": "error", "message": "first message must be hello"},
+            )
+            self._drop(client, selector, clients)
+        elif kind == "request":
+            lease = self._table.grant(client.ident)
+            if lease is not None:
+                send_message(
+                    client.sock,
+                    {
+                        "type": "lease",
+                        "lease": lease.lease_id,
+                        "deadline_s": self.lease_timeout,
+                        "units": [
+                            self.units[i].to_json() for i in lease.indices
+                        ],
+                    },
+                )
+            elif self._table.done:
+                send_message(client.sock, {"type": "done"})
+            else:
+                send_message(
+                    client.sock, {"type": "wait", "retry_s": WAIT_RETRY_S}
+                )
+        elif kind == "heartbeat":
+            # A heartbeat for an expired (reassigned) lease is simply
+            # ignored; the late result will merge idempotently.
+            self._table.heartbeat(message.get("lease", -1))
+        elif kind == "result":
+            self._merge_result(client, message)
+        elif kind == "bye":
+            self._drop(client, selector, clients)
+        else:
+            send_message(
+                client.sock,
+                {"type": "error", "message": f"unknown message {kind!r}"},
+            )
+            self._drop(client, selector, clients)
+
+    def _merge_result(self, client: _Client, message: dict) -> None:
+        records = [
+            RunRecord.from_json(obj) for obj in message.get("records", [])
+        ]
+        for record in records:
+            index = self._key_to_index.get(record.key)
+            if index is None:
+                raise DistError(
+                    f"worker {client.ident} returned record for unknown "
+                    f"content key {record.key!r}; plan/worker mismatch"
+                )
+            existing = self._records.get(index)
+            if existing is None:
+                self._records[index] = record
+                if self.on_record is not None:
+                    self.on_record(index, record)
+            elif (
+                existing.kind != record.kind
+                or existing.payload != record.payload
+            ):
+                raise LedgerConflictError(
+                    record.key,
+                    detail=(
+                        f"worker {client.ident} disagrees with a "
+                        "previously merged record"
+                    ),
+                )
+            # identical duplicate (reassigned lease raced its original
+            # holder): idempotent, drop silently.
+        completed = self._table.complete(message.get("lease", -1))
+        if completed:
+            self.log(
+                f"{len(self._table.completed)}/{len(self.units)} units "
+                f"complete ({client.ident})"
+            )
+
+    # -- merge ----------------------------------------------------------
+    def _merged(self) -> list[RunRecord]:
+        missing = [
+            self.units[i].key
+            for i in range(len(self.units))
+            if i not in self._records
+        ]
+        if missing:
+            raise DistError(
+                f"coverage hole after coordination: {len(missing)} of "
+                f"{len(self.units)} units never produced a record "
+                f"(first missing key: {missing[0]!r})"
+            )
+        return [self._records[i] for i in range(len(self.units))]

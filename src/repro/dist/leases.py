@@ -1,0 +1,148 @@
+"""Lease bookkeeping for the distributed coordinator.
+
+The coordinator partitions a campaign's work units into *leases*: a
+lease is a batch of unit indices granted to one worker together with a
+deadline.  The worker heartbeats to extend the deadline while it
+computes; when results come back the lease completes; when the deadline
+passes (worker hung) or the connection drops (worker died, e.g.
+``kill -9``) the lease's unfinished units return to the pending queue
+and the next requesting worker picks them up.
+
+Nothing here touches sockets or time directly — ``now`` is injected so
+tests can drive expiry deterministically — and nothing here knows what
+a unit *is* beyond its index.  Correctness of reassignment (the same
+unit possibly executing twice) is carried entirely by content keys: the
+merge is idempotent, so at-least-once delivery is enough.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import DistError
+
+
+@dataclass
+class Lease:
+    """One grant: which units, to whom, until when."""
+
+    lease_id: int
+    worker: str
+    indices: tuple[int, ...]
+    deadline: float
+
+
+@dataclass
+class LeaseTable:
+    """Pending/active/completed bookkeeping over ``n_units`` units.
+
+    * ``pending`` — unit indices nobody holds (deque; reassigned units
+      go to the *front* so a recovering campaign finishes stragglers
+      first);
+    * ``active`` — granted leases by id;
+    * ``completed`` — unit indices whose results have merged.
+    """
+
+    n_units: int
+    timeout: float = 60.0
+    units_per_lease: int = 1
+    now: Callable[[], float] = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.now is None:
+            import time
+
+            self.now = time.monotonic
+        if self.timeout <= 0:
+            raise DistError(f"lease timeout must be > 0, got {self.timeout}")
+        if self.units_per_lease < 1:
+            raise DistError(
+                f"units_per_lease must be >= 1, got {self.units_per_lease}"
+            )
+        self.pending: deque[int] = deque(range(self.n_units))
+        self.active: dict[int, Lease] = {}
+        self.completed: set[int] = set()
+        self._next_id = 1
+
+    # -- grants ---------------------------------------------------------
+    def grant(self, worker: str) -> Lease | None:
+        """Lease up to ``units_per_lease`` pending units to ``worker``.
+
+        Returns None when nothing is pending (the worker should wait:
+        active leases may yet expire and re-pend their units).
+        """
+        if not self.pending:
+            return None
+        indices = []
+        while self.pending and len(indices) < self.units_per_lease:
+            indices.append(self.pending.popleft())
+        lease = Lease(
+            lease_id=self._next_id,
+            worker=worker,
+            indices=tuple(indices),
+            deadline=self.now() + self.timeout,
+        )
+        self._next_id += 1
+        self.active[lease.lease_id] = lease
+        return lease
+
+    def heartbeat(self, lease_id: int) -> bool:
+        """Extend a lease's deadline; False when the lease is no longer
+        held (expired and reassigned — the worker should drop it)."""
+        lease = self.active.get(lease_id)
+        if lease is None:
+            return False
+        lease.deadline = self.now() + self.timeout
+        return True
+
+    def complete(self, lease_id: int) -> tuple[int, ...]:
+        """Mark a lease's units done; returns the indices completed.
+
+        Completing an unknown lease returns ``()`` — the lease expired,
+        was reassigned, and its duplicate results merge idempotently by
+        content key, so the late worker is simply thanked and ignored.
+        """
+        lease = self.active.pop(lease_id, None)
+        if lease is None:
+            return ()
+        self.completed.update(lease.indices)
+        return lease.indices
+
+    # -- failure paths --------------------------------------------------
+    def expire(self) -> list[Lease]:
+        """Re-pend every lease whose deadline has passed (hung worker)."""
+        now = self.now()
+        expired = [
+            lease for lease in self.active.values() if lease.deadline < now
+        ]
+        for lease in expired:
+            self._reassign(lease)
+        return expired
+
+    def release_worker(self, worker: str) -> list[Lease]:
+        """Re-pend every lease held by ``worker`` (connection dropped)."""
+        dropped = [
+            lease for lease in self.active.values() if lease.worker == worker
+        ]
+        for lease in dropped:
+            self._reassign(lease)
+        return dropped
+
+    def _reassign(self, lease: Lease) -> None:
+        del self.active[lease.lease_id]
+        for index in reversed(lease.indices):
+            if index not in self.completed:
+                self.pending.appendleft(index)
+
+    # -- queries --------------------------------------------------------
+    def next_deadline(self) -> float | None:
+        """The soonest active deadline (None when no lease is active)."""
+        if not self.active:
+            return None
+        return min(lease.deadline for lease in self.active.values())
+
+    @property
+    def done(self) -> bool:
+        return len(self.completed) == self.n_units

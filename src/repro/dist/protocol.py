@@ -1,0 +1,129 @@
+"""The coordinator/worker wire: length-prefixed JSON frames over TCP.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding one message object.  Messages are plain
+dicts with a ``type`` field:
+
+worker -> coordinator
+    ``hello``      {type, worker, protocol}
+    ``request``    {type}                       ask for a lease
+    ``heartbeat``  {type, lease}                extend a lease deadline
+    ``result``     {type, lease, records: [RunRecord JSON, ...]}
+    ``bye``        {type}                       leaving voluntarily
+
+coordinator -> worker
+    ``welcome``    {type, protocol, units_total}
+    ``lease``      {type, lease, deadline_s, units: [WorkUnit JSON, ...]}
+    ``wait``       {type, retry_s}              no work *right now*
+    ``done``       {type}                       campaign complete
+    ``error``      {type, message}              fatal, close connection
+
+The protocol is deliberately dumb: no negotiation beyond a version
+check, no compression, no partial results.  All correctness lives in
+content keys — a frame can be lost, duplicated or replayed and the
+merge stays exact.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from ..errors import ProtocolError
+
+#: Bump on any incompatible message change.
+PROTOCOL_VERSION = 1
+
+#: Hard per-frame ceiling; a frame this size indicates a bug or garbage
+#: bytes (a stray HTTP client, a corrupted length prefix).
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(message: dict) -> bytes:
+    """One message as bytes ready for ``sendall``."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME "
+            f"({MAX_FRAME})"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Send one framed message (blocking)."""
+    sock.sendall(encode_frame(message))
+
+
+class FrameDecoder:
+    """Incremental frame decoder for one connection.
+
+    Feed raw bytes as they arrive; complete messages come back in
+    order.  Tolerates frames split across arbitrarily many reads and
+    multiple frames per read.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        #: Frames decoded but not yet consumed by :func:`recv_message`
+        #: (a peer may legitimately send two frames back-to-back, e.g. a
+        #: lease reply followed by a broadcast ``done``).
+        self.pending: list[dict] = []
+
+    def feed(self, data: bytes) -> list[dict]:
+        self._buffer.extend(data)
+        messages = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return messages
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME:
+                raise ProtocolError(
+                    f"frame length {length} exceeds MAX_FRAME "
+                    f"({MAX_FRAME}); stream is garbage or hostile"
+                )
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return messages
+            payload = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            try:
+                message = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(
+                    f"undecodable frame payload: {exc}"
+                ) from exc
+            if not isinstance(message, dict) or "type" not in message:
+                raise ProtocolError(
+                    f"frame is not a typed message: {message!r}"
+                )
+            messages.append(message)
+
+
+def recv_message(
+    sock: socket.socket, decoder: FrameDecoder
+) -> dict | None:
+    """Block until one complete message arrives (None on clean EOF).
+
+    The worker-side convenience: reads into ``decoder`` until it yields
+    a frame.  Frames beyond the first queue on ``decoder.pending`` and
+    are returned by subsequent calls without touching the socket.
+    """
+    if decoder.pending:
+        return decoder.pending.pop(0)
+    while True:
+        try:
+            data = sock.recv(65536)
+        except (TimeoutError, socket.timeout) as exc:
+            raise ProtocolError(
+                "timed out waiting for a frame"
+            ) from exc
+        if not data:
+            return None
+        messages = decoder.feed(data)
+        if messages:
+            decoder.pending.extend(messages[1:])
+            return messages[0]

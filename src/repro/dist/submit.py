@@ -1,0 +1,131 @@
+"""The distributed submit backend: coordinator + self-spawned workers.
+
+:class:`DistributedSubmit` plugs into the same slot as the local pool —
+``submit(units, config, on_record) -> records`` (see
+:func:`repro.store.resume.submit_units`) — but serves the units through
+a :class:`~repro.dist.coordinator.Coordinator` to worker subprocesses
+it spawns on this machine (``repro worker --connect``).  Remote
+machines join the same campaign by running that command against the
+coordinator's address; ``workers=0`` spawns nothing and waits for
+external workers only.
+
+This is what ``--dist N`` on the CLI resolves to, and what CI uses to
+prove byte-identity between distributed and serial runs without any
+second machine.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..parallel.plan import WorkUnit
+from .coordinator import Coordinator
+
+
+def worker_command(
+    host: str, port: int, name: str, jobs: int = 1
+) -> list[str]:
+    """The argv that joins a worker to a coordinator — the same command
+    a remote machine runs by hand."""
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "worker",
+        "--connect",
+        f"{host}:{port}",
+        "--name",
+        name,
+        "--jobs",
+        str(jobs),
+    ]
+
+
+def _worker_env() -> dict[str, str]:
+    """Child environment with the library importable (the repo is used
+    via PYTHONPATH=src, which subprocesses must inherit)."""
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+@dataclass
+class DistributedSubmit:
+    """Submit backend that coordinates ``workers`` local subprocesses.
+
+    ``worker_jobs`` is each worker's internal pool width;
+    ``units_per_lease`` batches grant round-trips.  ``port=0`` binds an
+    ephemeral port (the default, so parallel CI jobs never collide).
+    """
+
+    workers: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0
+    lease_timeout: float = 60.0
+    units_per_lease: int = 1
+    worker_jobs: int = 1
+    log: Callable[[str], None] | None = None
+    #: Filled per call; exposed for tests that kill a worker mid-run.
+    procs: list = field(default_factory=list)
+
+    def __call__(
+        self,
+        units: Sequence[WorkUnit],
+        config,
+        on_record: Callable | None,
+    ) -> list:
+        coordinator = Coordinator(
+            units,
+            host=self.host,
+            port=self.port,
+            lease_timeout=self.lease_timeout,
+            units_per_lease=self.units_per_lease,
+            on_record=on_record,
+            log=self.log,
+        )
+        host, port = coordinator.bind()
+        self.procs = []
+        try:
+            env = _worker_env()
+            for i in range(self.workers):
+                self.procs.append(
+                    subprocess.Popen(
+                        worker_command(
+                            host, port, f"local-{i}", self.worker_jobs
+                        ),
+                        env=env,
+                    )
+                )
+            if self.procs:
+                def all_dead() -> str | None:
+                    if all(p.poll() is not None for p in self.procs):
+                        codes = [p.returncode for p in self.procs]
+                        return (
+                            f"all {len(self.procs)} spawned workers "
+                            f"exited (codes {codes}) before the "
+                            "campaign completed"
+                        )
+                    return None
+
+                coordinator.stop_check = all_dead
+            return coordinator.serve()
+        finally:
+            for proc in self.procs:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in self.procs:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    proc.kill()
+                    proc.wait()

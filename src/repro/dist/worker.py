@@ -1,0 +1,174 @@
+"""The socket worker: lease, execute, report, repeat.
+
+``run_worker`` connects to a coordinator, executes whatever work units
+it is leased (through the same executor registry the local pool uses,
+so any machine with the library importable can serve any unit kind),
+and streams the records back.  One heartbeat goes out per completed
+unit, so a multi-unit lease stays alive as long as the worker makes
+progress; a lease held through a hang simply expires coordinator-side
+and its units are re-run elsewhere — the content-key merge absorbs the
+duplicate.
+
+The loop is deliberately synchronous: one outstanding lease, blocking
+sends and receives.  Throughput scaling comes from running *more
+workers* (and ``jobs`` inside each), not from pipelining the protocol.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Callable
+
+from ..errors import ProtocolError, WorkerExitError
+from ..parallel.executor import SERIAL, ParallelConfig
+from ..parallel.plan import WorkUnit, run_units
+from .protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    recv_message,
+    send_message,
+)
+
+#: Blocking-socket timeout; also the hang detector for a coordinator
+#: that stops responding entirely.
+SOCKET_TIMEOUT_S = 60.0
+
+_CONNECT_RETRY_S = 0.1
+
+
+def _connect_retry(
+    host: str, port: int, connect_timeout: float
+) -> socket.socket:
+    """Dial the coordinator, retrying refused connections until
+    ``connect_timeout`` elapses (workers routinely start before the
+    coordinator has bound)."""
+    deadline = time.monotonic() + connect_timeout
+    while True:
+        try:
+            return socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            if time.monotonic() >= deadline:
+                raise WorkerExitError(
+                    f"could not reach coordinator at {host}:{port} "
+                    f"within {connect_timeout:g}s: {exc}"
+                ) from exc
+            time.sleep(_CONNECT_RETRY_S)
+
+
+def run_worker(
+    host: str,
+    port: int,
+    name: str = "worker",
+    jobs: int = 1,
+    max_units: int | None = None,
+    delay: float = 0.0,
+    connect_timeout: float = 10.0,
+    log: Callable[[str], None] | None = None,
+) -> int:
+    """Serve one coordinator until it says ``done``; returns the number
+    of units this worker executed.
+
+    * ``jobs`` — process-pool width for executing each lease's units
+      (1 = in the worker process itself);
+    * ``max_units`` — leave voluntarily (``bye``) after this many units,
+      for exercising worker churn;
+    * ``delay`` — sleep this long before each lease's execution, for
+      simulating stragglers in tests;
+    * ``connect_timeout`` — how long to keep retrying the initial
+      connect.
+
+    A connection lost before ``done`` raises
+    :class:`~repro.errors.WorkerExitError` — the coordinator crashed or
+    fenced this worker off; either way the worker cannot know the
+    campaign finished.
+    """
+    log = log or (lambda message: None)
+    config = SERIAL if jobs <= 1 else ParallelConfig(jobs=jobs)
+    sock = _connect_retry(host, port, connect_timeout)
+    executed = 0
+    try:
+        sock.settimeout(SOCKET_TIMEOUT_S)
+        decoder = FrameDecoder()
+        send_message(
+            sock,
+            {"type": "hello", "worker": name, "protocol": PROTOCOL_VERSION},
+        )
+        welcome = recv_message(sock, decoder)
+        if welcome is None:
+            raise WorkerExitError(
+                "coordinator closed the connection during handshake"
+            )
+        if welcome["type"] == "error":
+            raise WorkerExitError(
+                f"coordinator refused {name}: {welcome.get('message')}"
+            )
+        if welcome["type"] != "welcome":
+            raise ProtocolError(
+                f"expected welcome, got {welcome['type']!r}"
+            )
+        log(
+            f"{name}: connected to {host}:{port} "
+            f"({welcome.get('units_total')} units in plan)"
+        )
+        while True:
+            if max_units is not None and executed >= max_units:
+                send_message(sock, {"type": "bye"})
+                log(f"{name}: leaving after {executed} units (--max-units)")
+                return executed
+            send_message(sock, {"type": "request"})
+            message = recv_message(sock, decoder)
+            if message is None:
+                raise WorkerExitError(
+                    f"{name}: coordinator vanished mid-campaign "
+                    f"(connection closed without done)"
+                )
+            kind = message["type"]
+            if kind == "done":
+                log(f"{name}: campaign complete; executed {executed} units")
+                return executed
+            if kind == "wait":
+                time.sleep(float(message.get("retry_s", 0.5)))
+                continue
+            if kind == "error":
+                raise WorkerExitError(
+                    f"coordinator error: {message.get('message')}"
+                )
+            if kind != "lease":
+                raise ProtocolError(f"unexpected message {kind!r}")
+            executed += _serve_lease(sock, message, config, delay, log, name)
+    finally:
+        sock.close()
+
+
+def _serve_lease(
+    sock: socket.socket,
+    message: dict,
+    config: ParallelConfig,
+    delay: float,
+    log: Callable[[str], None],
+    name: str,
+) -> int:
+    lease_id = message["lease"]
+    units = [WorkUnit.from_json(obj) for obj in message["units"]]
+    if delay > 0:
+        time.sleep(delay)
+
+    def beat(_index: int, _record) -> None:
+        # One heartbeat per completed unit keeps a multi-unit lease
+        # alive exactly as long as the worker is making progress.
+        send_message(sock, {"type": "heartbeat", "lease": lease_id})
+
+    records = run_units(units, config, on_record=beat)
+    send_message(
+        sock,
+        {
+            "type": "result",
+            "lease": lease_id,
+            "records": [record.to_json() for record in records],
+        },
+    )
+    log(f"{name}: lease {lease_id} done ({len(units)} units)")
+    return len(units)

@@ -94,6 +94,28 @@ class CostMeasurementError(ReproError):
         )
 
 
+class ResultHookError(ReproError):
+    """An ``on_result`` hook raised while a parallel map streamed back.
+
+    The hook is how completed shards checkpoint into the run ledger, so
+    a failure here means durability is compromised mid-campaign; the map
+    aborts loudly with the shard index (and, when the caller knows it,
+    the content key of the record being written) instead of surfacing a
+    bare traceback from deep inside the pool drain loop.
+    """
+
+    def __init__(self, index: int, key: str | None = None,
+                 detail: str | None = None):
+        self.index = index
+        self.key = key
+        message = f"on_result hook failed for work item {index}"
+        if key is not None:
+            message += f" (content key {key})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
 class LedgerError(ReproError):
     """A run-ledger operation failed (missing directory, bad manifest)."""
 
@@ -106,3 +128,38 @@ class LedgerCorruptError(LedgerError):
     without its required fields) indicates real damage and is refused
     rather than silently dropped.
     """
+
+
+class LedgerConflictError(LedgerCorruptError):
+    """Two records share one content key but carry different payloads.
+
+    Content keys are pure functions of everything that determines a
+    result, so two honest runs can never disagree under one key —
+    identical duplicates are merged idempotently, but a conflicting
+    payload means one side is wrong (a corrupted segment, a patched
+    binary, a worker with a different library version) and must never
+    silently overwrite the other.
+    """
+
+    def __init__(self, key: str, detail: str = ""):
+        self.key = key
+        message = (
+            f"conflicting payloads under content key {key!r}; refusing "
+            "to overwrite (identical duplicates merge idempotently, "
+            "disagreement means corruption)"
+        )
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class DistError(ReproError):
+    """A distributed-execution operation failed (see :mod:`repro.dist`)."""
+
+
+class ProtocolError(DistError):
+    """A malformed or unexpected frame on the coordinator/worker wire."""
+
+
+class WorkerExitError(DistError):
+    """A worker lost its coordinator or was told to abort mid-session."""

@@ -1,0 +1,79 @@
+"""Litmus grid points as backend-neutral work units.
+
+The tuning grids (patch finding, sequence scoring, spread finding) and
+the survey experiment all fan out litmus runs whose result is one
+``litmus`` ledger record.  This module gives those layers a single
+declarative currency: :func:`litmus_unit` packs everything the run
+needs (chip and test *names*, the serialised stress spec, the derived
+execution seed) into a :class:`~repro.parallel.plan.WorkUnit`, and
+:func:`execute_litmus_unit` reconstitutes and runs it anywhere — a
+pool child on this machine or a worker on another one — with results
+identical by the global-index seeding contract.
+"""
+
+from __future__ import annotations
+
+from ..chips.registry import get_chip
+from ..parallel.plan import WorkUnit, register_executor
+from ..store import records as store_records
+from ..stress.strategies import spec_from_json, spec_to_json
+from .tests import get_test
+
+
+def litmus_unit(
+    key: str,
+    chip: str,
+    test: str,
+    distance: int,
+    stress_spec,
+    executions: int,
+    seed: int,
+    record_seed: int | None = None,
+    backend: str = "direct",
+    randomise: bool = False,
+) -> WorkUnit:
+    """Build the work unit for one litmus run.
+
+    ``seed`` is the seed the runner executes with (tuning grids derive
+    it from the point's coordinates); ``record_seed`` is the
+    experiment-level seed stored in the ledger payload for query
+    filtering (defaults to ``seed``).
+    """
+    return WorkUnit(
+        kind="litmus",
+        key=key,
+        spec={
+            "chip": chip,
+            "test": test,
+            "distance": distance,
+            "stress": spec_to_json(stress_spec),
+            "executions": executions,
+            "seed": seed,
+            "record_seed": seed if record_seed is None else record_seed,
+            "backend": backend,
+            "randomise": randomise,
+        },
+    )
+
+
+def execute_litmus_unit(unit: WorkUnit):
+    """Run one litmus unit and encode its ledger record."""
+    from . import BACKENDS  # late: repro.litmus imports the runners
+
+    s = unit.spec
+    runner = BACKENDS[s["backend"]]
+    result = runner(
+        get_chip(s["chip"]),
+        get_test(s["test"]),
+        s["distance"],
+        spec_from_json(s["stress"]),
+        s["executions"],
+        seed=s["seed"],
+        randomise=s["randomise"],
+    )
+    return store_records.encode_litmus(
+        unit.key, result, chip=s["chip"], seed=s["record_seed"]
+    )
+
+
+register_executor("litmus", execute_litmus_unit)

@@ -23,10 +23,13 @@ The determinism contract (see ``docs/ARCHITECTURE.md``):
 from .executor import (
     SERIAL,
     ParallelConfig,
+    close_shared_pools,
     parallel_map,
     resolve_config,
     shard_ranges,
+    shared_pool,
 )
+from .plan import WorkUnit, execute_unit, register_executor, run_units
 from .merge import (
     CellShard,
     CheckShard,
@@ -42,6 +45,12 @@ __all__ = [
     "parallel_map",
     "resolve_config",
     "shard_ranges",
+    "shared_pool",
+    "close_shared_pools",
+    "WorkUnit",
+    "execute_unit",
+    "register_executor",
+    "run_units",
     "LitmusShard",
     "CellShard",
     "CheckShard",

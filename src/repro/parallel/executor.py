@@ -10,12 +10,13 @@ shard records back.
 
 from __future__ import annotations
 
+import atexit
 import os
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 
-from ..errors import ReproError
+from ..errors import ReproError, ResultHookError
 
 
 @dataclass(frozen=True)
@@ -100,11 +101,68 @@ def shard_ranges(
     return ranges
 
 
+#: Long-lived pools shared across grid submissions, keyed by worker
+#: count.  A campaign or tuning pipeline issues many parallel maps in
+#: sequence (one per grid, one per resumed run range); re-spawning a
+#: process pool for each costs a measurable fraction of small cells, so
+#: the grid layers reuse one pool per worker count instead.
+_SHARED_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def shared_pool(config: ParallelConfig) -> ProcessPoolExecutor | None:
+    """A lazily created, cached pool for ``config`` (None when serial).
+
+    The pool persists across calls (closed at interpreter exit or via
+    :func:`close_shared_pools`); pass it to :func:`parallel_map`'s
+    ``pool`` argument.  Results never depend on pool reuse — only the
+    spawn overhead changes.
+    """
+    if config.serial:
+        return None
+    workers = config.resolve_jobs()
+    pool = _SHARED_POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _SHARED_POOLS[workers] = pool
+    return pool
+
+
+def close_shared_pools() -> None:
+    """Shut down every cached shared pool (tests; interpreter exit)."""
+    pools = list(_SHARED_POOLS.values())
+    _SHARED_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(close_shared_pools)
+
+
+def _report(
+    on_result: Callable[[int, object], None], index: int, result: object
+) -> None:
+    """Invoke the streaming hook, converting failures to a typed error.
+
+    The hook is the ledger's checkpoint path; a bare exception from it
+    would surface as an anonymous traceback mid-campaign.  Instead it
+    aborts as :class:`~repro.errors.ResultHookError` carrying the work
+    item's index (hooks that know their content key raise
+    ``ResultHookError`` themselves and pass through untouched).
+    """
+    try:
+        on_result(index, result)
+    except ResultHookError:
+        raise
+    except Exception as exc:
+        raise ResultHookError(index=index, detail=str(exc)) from exc
+
+
 def parallel_map(
     fn: Callable,
     items: Iterable,
     config: ParallelConfig = SERIAL,
     on_result: Callable[[int, object], None] | None = None,
+    pool: ProcessPoolExecutor | None = None,
 ) -> list:
     """Apply ``fn`` to every item, preserving input order.
 
@@ -121,9 +179,15 @@ def parallel_map(
     process pool it fires per completed *chunk* in completion order
     (never input order), so a slow early chunk cannot delay the
     checkpointing of finished later ones.  The callback cannot alter
-    the returned results; an exception it raises aborts the map
+    the returned results; an exception it raises aborts the map as a
+    typed :class:`~repro.errors.ResultHookError` naming the work item
     (results already reported stay reported, which is exactly the
     at-least-this-much durability a checkpoint stream wants).
+
+    ``pool`` optionally supplies an existing
+    :class:`~concurrent.futures.ProcessPoolExecutor` to dispatch into
+    (see :func:`shared_pool`); without it the call spawns and tears
+    down its own pool, exactly as before.
     """
     work: Sequence = items if isinstance(items, Sequence) else list(items)
     if config.serial or len(work) <= 1:
@@ -131,26 +195,39 @@ def parallel_map(
         for index, item in enumerate(work):
             result = fn(item)
             if on_result is not None:
-                on_result(index, result)
+                _report(on_result, index, result)
             out.append(result)
         return out
     workers = min(config.resolve_jobs(), len(work))
     chunksize = max(
         1, len(work) // (workers * config.chunks_per_job)
     )
+    if pool is not None:
+        return _pooled_map(fn, work, chunksize, on_result, pool)
+    with ProcessPoolExecutor(max_workers=workers) as own_pool:
+        return _pooled_map(fn, work, chunksize, on_result, own_pool)
+
+
+def _pooled_map(
+    fn: Callable,
+    work: Sequence,
+    chunksize: int,
+    on_result: Callable[[int, object], None] | None,
+    pool: ProcessPoolExecutor,
+) -> list:
+    """Dispatch chunks of ``work`` into ``pool`` (order-preserving)."""
     out: list = [None] * len(work)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {
-            pool.submit(_apply_chunk, fn, work[start:start + chunksize]):
-                start
-            for start in range(0, len(work), chunksize)
-        }
-        for future in as_completed(futures):
-            start = futures[future]
-            for offset, result in enumerate(future.result()):
-                if on_result is not None:
-                    on_result(start + offset, result)
-                out[start + offset] = result
+    futures = {
+        pool.submit(_apply_chunk, fn, work[start:start + chunksize]):
+            start
+        for start in range(0, len(work), chunksize)
+    }
+    for future in as_completed(futures):
+        start = futures[future]
+        for offset, result in enumerate(future.result()):
+            if on_result is not None:
+                _report(on_result, start + offset, result)
+            out[start + offset] = result
     return out
 
 

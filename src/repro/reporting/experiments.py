@@ -27,11 +27,12 @@ from ..hardening.insertion import empirical_fence_insertion
 from ..litmus import BACKENDS
 from ..litmus.runner import run_litmus
 from ..litmus.tests import ALL_TESTS, TUNING_TESTS, get_test
+from ..litmus.units import litmus_unit
 from ..stress.strategies import NoStress, TunedStress
 from ..errors import LedgerError
 from ..parallel import ParallelConfig, resolve_config
 from ..scale import DEFAULT, Scale, get_scale
-from ..store import RunLedger, litmus_key, stress_token
+from ..store import RunLedger, litmus_key, stress_token, submit_units
 from ..store import records as store_records
 from ..stress.environment import ENVIRONMENT_ORDER
 from ..stress.sequences import format_sequence
@@ -63,13 +64,15 @@ def figure3(
     chips: tuple[str, ...] = ("Titan", "C2075", "980"),
     parallel: ParallelConfig | None = None,
     ledger: RunLedger | None = None,
+    submit=None,
 ) -> str:
     """Figure 3: patch finding bar strips for MP and LB."""
     out = []
     for name in chips:
         chip = get_chip(name)
         scan = scan_patches(
-            chip, scale, seed, parallel=parallel, ledger=ledger
+            chip, scale, seed, parallel=parallel, ledger=ledger,
+            submit=submit,
         )
         patch, _per_test = critical_patch_size(scan)
         out.append(
@@ -94,6 +97,7 @@ def table2(
     chips: tuple[str, ...] | None = None,
     parallel: ParallelConfig | None = None,
     ledger: RunLedger | None = None,
+    submit=None,
 ) -> str:
     """Table 2: tuned stressing parameters per chip (full pipeline)."""
     rows = []
@@ -102,7 +106,8 @@ def table2(
     )
     for name in names:
         result = tune_chip(
-            get_chip(name), scale, seed, parallel=parallel, ledger=ledger
+            get_chip(name), scale, seed, parallel=parallel, ledger=ledger,
+            submit=submit,
         )
         row = result.table2_row()
         truth = shipped_params(name)
@@ -127,12 +132,13 @@ def table3(
     chip: str = "Titan",
     parallel: ParallelConfig | None = None,
     ledger: RunLedger | None = None,
+    submit=None,
 ) -> str:
     """Table 3: access-sequence ranking snippet for Titan."""
     profile = get_chip(chip)
     scores = score_sequences(
         profile, profile.patch_size, scale, seed, parallel=parallel,
-        ledger=ledger,
+        ledger=ledger, submit=submit,
     )
     best = select_sequence(scores)
     out = [
@@ -150,6 +156,7 @@ def figure4(
     chips: tuple[str, ...] = ("980", "K20"),
     parallel: ParallelConfig | None = None,
     ledger: RunLedger | None = None,
+    submit=None,
 ) -> str:
     """Figure 4: spread-finding score curves."""
     out = []
@@ -157,7 +164,7 @@ def figure4(
         chip = get_chip(name)
         scores = score_spreads(
             chip, chip.patch_size, chip.best_sequence, scale, seed,
-            parallel=parallel, ledger=ledger,
+            parallel=parallel, ledger=ledger, submit=submit,
         )
         series = {
             test.name: [
@@ -197,6 +204,7 @@ def table5(
     environments: tuple[str, ...] | None = None,
     parallel: ParallelConfig | None = None,
     ledger: RunLedger | None = None,
+    submit=None,
 ) -> str:
     """Table 5: testing-environment effectiveness grid."""
     chip_objs = [
@@ -206,7 +214,7 @@ def table5(
     env_names = list(environments or ENVIRONMENT_ORDER)
     cells = run_campaign(
         chip_objs, environments=env_names, scale=scale, seed=seed,
-        parallel=parallel, ledger=ledger,
+        parallel=parallel, ledger=ledger, submit=submit,
     )
     table = table5_summary(cells)
     rows = []
@@ -314,6 +322,7 @@ def survey(
     backend: str | None = None,
     parallel: ParallelConfig | None = None,
     ledger: RunLedger | None = None,
+    submit=None,
 ) -> str:
     """Extended litmus survey: the full test family across chips.
 
@@ -328,66 +337,66 @@ def survey(
     ``vector``); ``None`` defers to ``scale.litmus_backend``.  Ledger
     keys carry the backend, so surveys on different backends never
     satisfy each other's resume.
+
+    The survey fans out as one litmus work unit per (test, chip,
+    stressing) cell — across local pool workers under ``parallel``,
+    across machines under a distributed ``submit`` — with identical
+    tables either way (each cell runs at the experiment seed
+    regardless of placement).
     """
     selected = (
         [get_test(name) for name in tests] if tests else list(ALL_TESTS)
     )
     if backend is None:
         backend = scale.litmus_backend
-    try:
-        runner = BACKENDS[backend]
-    except KeyError:
+    if backend not in BACKENDS:
         raise ValueError(
             f"unknown litmus backend {backend!r}; "
             f"choose from {', '.join(BACKENDS)}"
-        ) from None
+        )
     executions = max(20, scale.executions)
     chip_objs = [get_chip(c) for c in chips]
-    checkpoint = ledger.writer() if ledger is not None else None
-
-    def ledgered_litmus(chip, test, distance, spec):
-        key = litmus_key(
-            chip.short_name, test.name, stress_token(spec), distance,
-            executions, seed, backend=backend,
-        )
-        if ledger is not None:
-            record = ledger.get(key)
-            if record is not None:
-                return store_records.decode_litmus(record)
-        result = runner(
-            chip, test, distance, spec, executions,
-            seed=seed, parallel=parallel,
-        )
-        if checkpoint is not None:
-            checkpoint.write(
-                store_records.encode_litmus(
-                    key, result, chip=chip.short_name, seed=seed
+    config = resolve_config(parallel, scale)
+    units = []
+    for test in selected:
+        for chip in chip_objs:
+            distance = 2 * chip.patch_size
+            for spec in (
+                NoStress(),
+                TunedStress(shipped_params(chip.short_name)),
+            ):
+                units.append(
+                    litmus_unit(
+                        key=litmus_key(
+                            chip.short_name, test.name, stress_token(spec),
+                            distance, executions, seed, backend=backend,
+                        ),
+                        chip=chip.short_name,
+                        test=test.name,
+                        distance=distance,
+                        stress_spec=spec,
+                        executions=executions,
+                        seed=seed,
+                        backend=backend,
+                    )
                 )
-            )
-        return result
-
+    results = [
+        store_records.decode_litmus(record)
+        for record in submit_units(units, config, ledger, submit)
+    ]
     rows = []
-    try:
-        for test in selected:
-            row: dict[str, object] = {
-                "test": test.name,
-                "threads": test.n_threads,
-            }
-            for chip in chip_objs:
-                distance = 2 * chip.patch_size
-                native = ledgered_litmus(
-                    chip, test, distance, NoStress()
-                )
-                tuned = ledgered_litmus(
-                    chip, test, distance,
-                    TunedStress(shipped_params(chip.short_name)),
-                )
-                row[f"{chip.short_name} no-str"] = native.weak
-                row[f"{chip.short_name} sys-str"] = tuned.weak
-            rows.append(row)
-    finally:
-        if checkpoint is not None:
-            checkpoint.close()
+    cursor = iter(results)
+    for test in selected:
+        row: dict[str, object] = {
+            "test": test.name,
+            "threads": test.n_threads,
+        }
+        for chip in chip_objs:
+            native = next(cursor)
+            tuned = next(cursor)
+            row[f"{chip.short_name} no-str"] = native.weak
+            row[f"{chip.short_name} sys-str"] = tuned.weak
+        rows.append(row)
     return render_table(
         rows,
         title=(
@@ -410,6 +419,12 @@ EXPERIMENTS = {
     "table6": table6,
     "fig5": figure5,
 }
+
+#: Experiments whose work fans out as location-independent units and so
+#: can be served to distributed workers (``--dist`` / ``submit``).  The
+#: rest are either pure table renders (table1, table4) or sequentially
+#: dependent loops (table6 insertion, fig5 cost measurement).
+DISTRIBUTABLE = {"survey", "fig3", "table2", "table3", "fig4", "table5"}
 
 
 def open_ledger(
@@ -442,6 +457,8 @@ def run_experiment(
     jobs: int | None = None,
     out: str | None = None,
     resume: str | None = None,
+    dist: int | None = None,
+    submit=None,
     **kwargs,
 ) -> str:
     """Regenerate one paper artefact by id (see ``EXPERIMENTS``).
@@ -455,6 +472,14 @@ def run_experiment(
     are never re-simulated, and a complete ledger regenerates the
     artefact without a single simulation run — interrupted campaigns
     resume bit-identically.
+
+    ``dist`` serves the experiment's work units to that many local
+    worker subprocesses through the lease coordinator (see
+    :mod:`repro.dist`); ``submit`` injects a fully configured submit
+    backend instead (e.g. a :class:`~repro.dist.DistributedSubmit`
+    awaiting remote workers).  Only ``DISTRIBUTABLE`` experiments
+    accept either; the artefact is byte-identical to a local run.
+    ``None`` defers to the scale's ``dist_workers`` knob.
     """
     if isinstance(scale, str):
         scale = get_scale(scale)
@@ -467,6 +492,18 @@ def run_experiment(
     parallel = resolve_config(
         ParallelConfig(jobs=jobs) if jobs is not None else None, scale
     )
+    workers = dist if dist is not None else scale.dist_workers
+    if submit is None and workers:
+        from ..dist import DistributedSubmit
+
+        submit = DistributedSubmit(workers=workers)
+    if submit is not None:
+        if name not in DISTRIBUTABLE:
+            raise ValueError(
+                f"experiment {name!r} cannot run distributed; "
+                f"distributable: {', '.join(sorted(DISTRIBUTABLE))}"
+            )
+        kwargs["submit"] = submit
     ledger = open_ledger(out, resume)
     return fn(
         scale=scale, seed=seed, parallel=parallel, ledger=ledger, **kwargs

@@ -33,9 +33,11 @@ from .resume import (
     campaign_cells,
     cost_measurements,
     insertion_results,
-    ledgered_litmus_counts,
     ledgered_map,
+    litmus_grid_counts,
     litmus_results,
+    missing_ranges,
+    submit_units,
 )
 
 __all__ = [
@@ -53,7 +55,9 @@ __all__ = [
     "cost_key",
     "decode",
     "ledgered_map",
-    "ledgered_litmus_counts",
+    "submit_units",
+    "litmus_grid_counts",
+    "missing_ranges",
     "cached_or_run",
     "litmus_results",
     "campaign_cells",

@@ -22,18 +22,24 @@ Durability model (single writer at a time):
 * The manifest is written via the same write-temp-then-rename dance.
 
 Records are keyed by their deterministic content key (see
-:mod:`repro.store.records`); on duplicate keys the latest record wins,
-so re-running an experiment over an existing ledger is idempotent.
+:mod:`repro.store.records`).  Content keys capture everything that
+determines a result, so duplicate keys with *identical* payloads merge
+idempotently (re-running an experiment, re-ingesting a worker's partial
+ledger, a reassigned lease coming back twice — all no-ops), while
+duplicate keys with *conflicting* payloads raise
+:class:`~repro.errors.LedgerConflictError` — disagreement under one
+content key means corruption and is never silently overwritten.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from collections.abc import Iterable
 from pathlib import Path
 from typing import Iterator
 
-from ..errors import LedgerCorruptError, LedgerError
+from ..errors import LedgerConflictError, LedgerCorruptError, LedgerError
 from .records import RunRecord
 
 #: On-disk format version, recorded in the manifest.
@@ -86,6 +92,10 @@ class LedgerWriter:
         self._written = 0
 
     def write(self, record: RunRecord) -> None:
+        # Validate against the in-memory index *before* the line lands
+        # on disk, so a conflicting record never becomes durable.
+        if self._ledger._is_duplicate(record):
+            return
         self._handle.write(json.dumps(record.to_json()) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
@@ -119,7 +129,11 @@ class RunLedger:
         self._records: dict[str, RunRecord] = {}
         for path in self._segment_paths():
             for record in _read_segment(path):
-                self._absorb(record)
+                # Re-reading an identical duplicate (overlapping
+                # checkpoints) is fine; disagreement under one content
+                # key is corruption and refuses to load.
+                if not self._is_duplicate(record):
+                    self._absorb(record)
 
     # -- construction --------------------------------------------------
     @classmethod
@@ -207,7 +221,16 @@ class RunLedger:
 
     # -- append API -----------------------------------------------------
     def append(self, *records: RunRecord) -> None:
-        """Atomically append ``records`` as one new segment."""
+        """Atomically append ``records`` as one new segment.
+
+        Records whose key is already present with an identical payload
+        are skipped (idempotent merge); a conflicting payload raises
+        :class:`~repro.errors.LedgerConflictError` before anything is
+        written.
+        """
+        records = tuple(
+            r for r in records if not self._is_duplicate(r)
+        )
         if not records:
             return
         path = self._next_segment_path()
@@ -226,7 +249,39 @@ class RunLedger:
         """An incremental per-record checkpoint stream (see module doc)."""
         return LedgerWriter(self, self._next_segment_path())
 
+    def ingest(self, records: Iterable[RunRecord]) -> int:
+        """Merge a partial ledger's records by content key.
+
+        The distributed merge path: workers (or independent runs over
+        separate ``--out`` directories) produce partial ledgers whose
+        records this folds into one.  The merge is idempotent —
+        already-present identical records are skipped — and refuses
+        conflicting payloads with
+        :class:`~repro.errors.LedgerConflictError`.  Returns the number
+        of records actually written.
+        """
+        fresh = [r for r in records if not self._is_duplicate(r)]
+        if fresh:
+            self.append(*fresh)
+        return len(fresh)
+
     # -- internals ------------------------------------------------------
+    def _is_duplicate(self, record: RunRecord) -> bool:
+        """True when ``record`` is already present verbatim; raises on
+        a same-key different-payload conflict."""
+        existing = self._records.get(record.key)
+        if existing is None:
+            return False
+        if (
+            existing.kind == record.kind
+            and existing.payload == record.payload
+        ):
+            return True
+        raise LedgerConflictError(
+            record.key,
+            detail=f"have {existing.payload!r}, got {record.payload!r}",
+        )
+
     def _absorb(self, record: RunRecord) -> None:
         self._records[record.key] = record
 

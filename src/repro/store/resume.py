@@ -16,9 +16,95 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from ..parallel import ParallelConfig, parallel_map
+from ..errors import ResultHookError
+from ..parallel import (
+    ParallelConfig,
+    WorkUnit,
+    parallel_map,
+    run_units,
+    shared_pool,
+)
 from . import records as rec
 from .ledger import RunLedger
+
+
+def missing_ranges(
+    covered: list[tuple[int, int]], n: int
+) -> list[tuple[int, int]]:
+    """Complement of sorted disjoint ``covered`` ranges within
+    ``[0, n)`` — the work a resumed run range still owes."""
+    out = []
+    position = 0
+    for start, stop in covered:
+        if start > position:
+            out.append((position, start))
+        position = max(position, stop)
+    if position < n:
+        out.append((position, n))
+    return out
+
+
+def submit_units(
+    units: Sequence[WorkUnit],
+    config: ParallelConfig,
+    ledger: RunLedger | None,
+    submit: Callable | None = None,
+) -> list[rec.RunRecord]:
+    """Execute work units through any backend, with ledger read-through.
+
+    The one shape every grid layer shares: already-ledgered keys are
+    returned straight from the ledger (zero simulation), the rest go to
+    ``submit(units, config, on_record)`` — the local pool by default,
+    the distributed coordinator when the caller passes one (see
+    :mod:`repro.dist`) — and every fresh record checkpoints into the
+    ledger the moment it streams back.  Records return in unit order.
+    """
+    results: list[rec.RunRecord | None] = [None] * len(units)
+    pending: list[WorkUnit] = []
+    pending_indices: list[int] = []
+    for i, unit in enumerate(units):
+        record = ledger.get(unit.key) if ledger is not None else None
+        if record is not None:
+            results[i] = record
+        else:
+            pending.append(unit)
+            pending_indices.append(i)
+    if pending:
+        if submit is None:
+            def submit(batch, cfg, on_record):
+                return run_units(
+                    batch, cfg, on_record, pool=shared_pool(cfg)
+                )
+        if ledger is not None:
+            with ledger.writer() as checkpoint:
+
+                def on_record(j: int, record: rec.RunRecord) -> None:
+                    try:
+                        checkpoint.write(record)
+                    except Exception as exc:
+                        raise ResultHookError(
+                            index=j, key=pending[j].key, detail=str(exc)
+                        ) from exc
+
+                fresh = submit(pending, config, on_record)
+        else:
+            fresh = submit(pending, config, None)
+        for j, record in zip(pending_indices, fresh):
+            results[j] = record
+    return results
+
+
+def litmus_grid_counts(
+    units: Sequence[WorkUnit],
+    config: ParallelConfig,
+    ledger: RunLedger | None,
+    submit: Callable | None = None,
+) -> list[int]:
+    """:func:`submit_units` reduced to the tuning grids' weak counts."""
+    return [
+        rec.decode_litmus(record).weak
+        for record in submit_units(units, config, ledger, submit)
+    ]
 
 
 def ledgered_map(
@@ -65,47 +151,6 @@ def ledgered_map(
         for j, value in zip(pending_indices, fresh):
             results[j] = value
     return results
-
-
-def ledgered_litmus_counts(
-    fn: Callable,
-    work: Sequence,
-    keys: Sequence[str],
-    points: Sequence[tuple[str, int, tuple[int, ...]]],
-    executions: int,
-    config: ParallelConfig,
-    ledger: RunLedger | None,
-    chip: str,
-    seed: int,
-) -> list:
-    """:func:`ledgered_map` specialised to the tuning grids.
-
-    The tuning stages fan out workers that return bare weak counts;
-    ``points[i] = (test name, distance, stressed locations)`` supplies
-    the remaining coordinates so each count persists as a full
-    ``litmus`` record and decodes back to its weak count on resume.
-    """
-    if ledger is None:
-        return parallel_map(fn, work, config)
-    from ..litmus.results import LitmusResult
-
-    by_key = dict(zip(keys, points))
-
-    def encode(key: str, weak: int) -> rec.RunRecord:
-        test_name, distance, location = by_key[key]
-        return rec.encode_litmus(
-            key,
-            LitmusResult(
-                test=test_name, distance=distance, weak=weak,
-                executions=executions, location=location,
-            ),
-            chip=chip, seed=seed,
-        )
-
-    def decode(record: rec.RunRecord) -> int:
-        return rec.decode_litmus(record).weak
-
-    return ledgered_map(fn, work, keys, config, ledger, encode, decode)
 
 
 def cached_or_run(

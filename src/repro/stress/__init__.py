@@ -14,6 +14,8 @@ from .strategies import (
     NoStress,
     RandomStress,
     TunedStress,
+    spec_from_json,
+    spec_to_json,
 )
 from .randomisation import randomise_thread_ids
 from .environment import TestingEnvironment, standard_environments
@@ -28,6 +30,8 @@ __all__ = [
     "NoStress",
     "RandomStress",
     "TunedStress",
+    "spec_to_json",
+    "spec_from_json",
     "randomise_thread_ids",
     "TestingEnvironment",
     "standard_environments",

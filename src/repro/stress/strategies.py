@@ -180,6 +180,86 @@ class CacheStress:
         return max(1, int(round(frac * app_warps)))
 
 
+#: Wire tags for the stress-spec codec, one per strategy class.
+_SPEC_CLASSES = {
+    "no": NoStress,
+    "fixed": FixedLocationStress,
+    "tuned": TunedStress,
+    "random": RandomStress,
+    "cache": CacheStress,
+}
+_SPEC_TAGS = {cls: tag for tag, cls in _SPEC_CLASSES.items()}
+
+
+def _pair(value) -> tuple[int, int] | None:
+    return None if value is None else (int(value[0]), int(value[1]))
+
+
+def spec_to_json(spec) -> dict:
+    """Serialise a stress spec to a JSON-safe dict.
+
+    The codec exists so work units can cross process and machine
+    boundaries as plain JSON (see :mod:`repro.parallel.plan`);
+    :func:`spec_from_json` reconstructs a dataclass equal to the
+    original, so seed-derived behaviour is identical on the far side.
+    """
+    try:
+        tag = _SPEC_TAGS[type(spec)]
+    except KeyError:
+        raise InvalidStressConfigError(
+            f"cannot serialise stress spec of type {type(spec).__name__}; "
+            f"known: {', '.join(c.__name__ for c in _SPEC_TAGS)}"
+        ) from None
+    out: dict = {"type": tag}
+    if isinstance(spec, FixedLocationStress):
+        out["locations"] = list(spec.locations)
+        out["sequence"] = list(spec.sequence)
+    elif isinstance(spec, TunedStress):
+        c = spec.config
+        out["config"] = {
+            "chip": c.chip,
+            "patch_size": c.patch_size,
+            "sequence": list(c.sequence),
+            "spread": c.spread,
+            "scratch_regions": c.scratch_regions,
+        }
+    if not isinstance(spec, NoStress) and spec.threads_range is not None:
+        out["threads_range"] = list(spec.threads_range)
+    return out
+
+
+def spec_from_json(obj: dict):
+    """Rebuild the stress spec serialised by :func:`spec_to_json`."""
+    try:
+        cls = _SPEC_CLASSES[obj["type"]]
+    except (KeyError, TypeError):
+        raise InvalidStressConfigError(
+            f"malformed stress spec {obj!r}"
+        ) from None
+    if cls is NoStress:
+        return NoStress()
+    threads_range = _pair(obj.get("threads_range"))
+    if cls is FixedLocationStress:
+        return FixedLocationStress(
+            locations=tuple(int(l) for l in obj["locations"]),
+            sequence=tuple(str(s) for s in obj["sequence"]),
+            threads_range=threads_range,
+        )
+    if cls is TunedStress:
+        c = obj["config"]
+        return TunedStress(
+            config=StressConfig(
+                chip=c["chip"],
+                patch_size=c["patch_size"],
+                sequence=tuple(str(s) for s in c["sequence"]),
+                spread=c["spread"],
+                scratch_regions=c["scratch_regions"],
+            ),
+            threads_range=threads_range,
+        )
+    return cls(threads_range=threads_range)
+
+
 def with_threads_range(strategy, threads_range: tuple[int, int]):
     """Copy of ``strategy`` with an application-sized thread range."""
     if isinstance(strategy, NoStress):

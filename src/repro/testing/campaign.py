@@ -17,23 +17,28 @@ index, the resumed statistics are bit-identical to a cold run.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..apps.base import Application, ApplicationBatch
-from ..apps.registry import all_applications
+from ..apps.registry import all_applications, get_application
 from ..chips.profile import HardwareProfile
+from ..chips.registry import get_chip
 from ..parallel import (
     CellShard,
     ParallelConfig,
+    WorkUnit,
     merge_cell_shards,
-    parallel_map,
+    register_executor,
     resolve_config,
     shard_ranges,
 )
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
+from ..store import missing_ranges, submit_units
 from ..store import records as store_records
 from ..store.ledger import RunLedger
 from ..stress.environment import TestingEnvironment, standard_environments
+from ..stress.strategies import spec_from_json, spec_to_json
 from ..tuning.pipeline import shipped_params
 
 
@@ -53,46 +58,73 @@ class CampaignCell:
         return self.errors / self.runs if self.runs else 0.0
 
 
-def _cell_shard(args: tuple) -> CellShard:
-    """Process-pool worker: campaign runs ``[start, stop)`` of one cell.
+def campaign_unit(
+    chip: HardwareProfile,
+    app: Application,
+    env: TestingEnvironment,
+    runs: int,
+    seed: int,
+    start: int,
+    stop: int,
+) -> WorkUnit:
+    """One campaign shard — runs ``[start, stop)`` of one cell — as a
+    location-independent work unit (names and serialised specs only)."""
+    return WorkUnit(
+        kind="campaign-shard",
+        key=store_records.campaign_shard_key(
+            chip.short_name, app.name, env.name, runs, seed, start, stop
+        ),
+        spec={
+            "chip": chip.short_name,
+            "app": app.name,
+            "environment": env.name,
+            "stress": spec_to_json(env.strategy),
+            "randomise": env.randomise,
+            "runs": runs,
+            "seed": seed,
+            "start": start,
+            "stop": stop,
+        },
+    )
+
+
+def execute_campaign_unit(unit: WorkUnit) -> store_records.RunRecord:
+    """Execute one campaign shard anywhere (pool child, remote worker).
 
     Run ``i`` of a cell always draws from the seed stream derived from
-    its global index, so any sharding of the run range reproduces the
-    serial statistics exactly.  The shard's runs share one
-    :class:`ApplicationBatch` (setup once, per-seed results identical
-    to standalone runs).
+    its *global* index, so any sharding of the run range — and any
+    placement of this unit — reproduces the serial statistics exactly.
+    The shard's runs share one :class:`ApplicationBatch` (setup once,
+    per-seed results identical to standalone runs).
     """
-    cell, app, chip, env, seed, start, stop = args
+    s = unit.spec
+    batch = ApplicationBatch(
+        get_application(s["app"]),
+        get_chip(s["chip"]),
+        stress_spec=spec_from_json(s["stress"]),
+        randomise=s["randomise"],
+    )
     errors = 0
     timeouts = 0
-    batch = ApplicationBatch(
-        app, chip, stress_spec=env.strategy, randomise=env.randomise
-    )
-    for i in range(start, stop):
-        result = batch.run(derive_seed(seed, "campaign", env.name, i))
+    for i in range(s["start"], s["stop"]):
+        result = batch.run(
+            derive_seed(s["seed"], "campaign", s["environment"], i)
+        )
         if result.erroneous:
             errors += 1
         if result.timed_out:
             timeouts += 1
-    return CellShard(
-        cell=cell, start=start, stop=stop, errors=errors, timeouts=timeouts
+    shard = CellShard(
+        cell=0, start=s["start"], stop=s["stop"],
+        errors=errors, timeouts=timeouts,
+    )
+    return store_records.encode_campaign_shard(
+        unit.key, s["chip"], s["app"], s["environment"], s["runs"],
+        s["seed"], shard,
     )
 
 
-def _missing_ranges(
-    covered: list[tuple[int, int]], runs: int
-) -> list[tuple[int, int]]:
-    """Complement of sorted disjoint ``covered`` ranges within
-    ``[0, runs)`` — the run indices a resumed cell still owes."""
-    out = []
-    position = 0
-    for start, stop in covered:
-        if start > position:
-            out.append((position, start))
-        position = max(position, stop)
-    if position < runs:
-        out.append((position, runs))
-    return out
+register_executor("campaign-shard", execute_campaign_unit)
 
 
 def _ledgered_shards(
@@ -137,20 +169,25 @@ def _run_grid(
     seed: int,
     config: ParallelConfig,
     ledger: RunLedger | None,
+    submit: Callable | None = None,
 ) -> list[CampaignCell]:
     """Run (or resume) every cell of ``grid`` for ``runs`` executions.
 
-    The whole grid is flattened into (cell × run chunk) shards and
-    dispatched to one worker pool, so small grids with slow cells still
-    keep every worker busy; shard outputs are reduced back into
-    per-cell :class:`CampaignCell` statistics that match a serial run
-    bit for bit.  With a ledger, fully recorded cells are decoded
-    outright, checkpointed shards shrink the remaining work to the
-    missing run ranges, and fresh shards checkpoint as they complete.
+    The whole grid is flattened into (cell × run chunk) work units and
+    dispatched through one submit backend — the shared local pool by
+    default, the distributed coordinator when ``submit`` is a
+    :class:`~repro.dist.DistributedSubmit` — so small grids with slow
+    cells still keep every worker busy; shard records are reduced back
+    into per-cell :class:`CampaignCell` statistics that match a serial
+    run bit for bit regardless of backend.  With a ledger, fully
+    recorded cells are decoded outright, checkpointed shards shrink the
+    remaining work to the missing run ranges, and fresh shards
+    checkpoint as they complete.
     """
     cells: list[CampaignCell | None] = [None] * len(grid)
     cached_shards: list[CellShard] = []
-    work: list[tuple] = []
+    units: list[WorkUnit] = []
+    unit_cell: dict[str, int] = {}
     for index, (chip, app, env) in enumerate(grid):
         covered: list[tuple[int, int]] = []
         if ledger is not None:
@@ -167,32 +204,19 @@ def _run_grid(
             )
             cached_shards.extend(done)
             covered = [(s.start, s.stop) for s in done]
-        for lo, hi in _missing_ranges(covered, runs):
+        for lo, hi in missing_ranges(covered, runs):
             for start, stop in shard_ranges(hi - lo, config):
-                work.append(
-                    (index, app, chip, env, seed, lo + start, lo + stop)
+                unit = campaign_unit(
+                    chip, app, env, runs, seed, lo + start, lo + stop
                 )
-    if work and ledger is not None:
-        with ledger.writer() as checkpoint:
-
-            def on_result(j: int, shard: CellShard) -> None:
-                index, app, chip, env = (
-                    work[j][0], work[j][1], work[j][2], work[j][3]
-                )
-                checkpoint.write(
-                    store_records.encode_campaign_shard(
-                        store_records.campaign_shard_key(
-                            chip.short_name, app.name, env.name, runs,
-                            seed, shard.start, shard.stop,
-                        ),
-                        chip.short_name, app.name, env.name, runs, seed,
-                        shard,
-                    )
-                )
-
-            fresh = parallel_map(_cell_shard, work, config, on_result)
-    else:
-        fresh = parallel_map(_cell_shard, work, config)
+                unit_cell[unit.key] = index
+                units.append(unit)
+    fresh = [
+        store_records.decode_campaign_shard(
+            record, cell=unit_cell[record.key]
+        )
+        for record in submit_units(units, config, ledger, submit)
+    ]
     merged = merge_cell_shards(cached_shards + fresh, runs)
     new_records = []
     for index, (chip, app, env) in enumerate(grid):
@@ -230,10 +254,13 @@ def run_cell(
     seed: int = 0,
     parallel: ParallelConfig | None = None,
     ledger: RunLedger | None = None,
+    submit: Callable | None = None,
 ) -> CampaignCell:
     """Run one campaign cell (one table entry of the raw data)."""
     config = resolve_config(parallel)
-    return _run_grid([(chip, app, env)], runs, seed, config, ledger)[0]
+    return _run_grid(
+        [(chip, app, env)], runs, seed, config, ledger, submit
+    )[0]
 
 
 def run_campaign(
@@ -244,6 +271,7 @@ def run_campaign(
     seed: int = 0,
     parallel: ParallelConfig | None = None,
     ledger: RunLedger | None = None,
+    submit: Callable | None = None,
 ) -> list[CampaignCell]:
     """Run the full Sec. 4 campaign grid.
 
@@ -260,6 +288,11 @@ def run_campaign(
     shards and cells persist as they finish, and a repeat invocation
     over the same ledger replays only what is missing (see
     :mod:`repro.store`).
+
+    ``submit`` swaps the execution backend — pass a
+    :class:`~repro.dist.DistributedSubmit` to serve the grid to socket
+    workers instead of the local pool; results are identical by the
+    seeding contract.
     """
     config = resolve_config(parallel, scale)
     if apps is None:
@@ -272,4 +305,6 @@ def run_campaign(
         for app in apps:
             for env in envs:
                 grid.append((chip, app, env))
-    return _run_grid(grid, scale.campaign_runs, seed, config, ledger)
+    return _run_grid(
+        grid, scale.campaign_runs, seed, config, ledger, submit
+    )

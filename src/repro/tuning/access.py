@@ -13,13 +13,15 @@ two of the three tests), then by total score.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..chips.profile import HardwareProfile
-from ..litmus import TUNING_TESTS, run_litmus
+from ..litmus import TUNING_TESTS
+from ..litmus.units import litmus_unit
 from ..parallel import ParallelConfig, resolve_config
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
-from ..store import ledgered_litmus_counts, litmus_key
+from ..store import litmus_grid_counts, litmus_key
 from ..stress.strategies import FixedLocationStress
 from ..stress.sequences import all_sequences, format_sequence
 
@@ -58,21 +60,6 @@ class SequenceScores:
         return out
 
 
-def _sequence_cell(args: tuple) -> int:
-    """Process-pool worker: one ⟨T_d, σ@l⟩ grid point."""
-    chip, seq, test, d, l, executions, seed = args
-    spec = FixedLocationStress((l,), seq)
-    result = run_litmus(
-        chip,
-        test,
-        d,
-        spec,
-        executions,
-        seed=derive_seed(seed, "seq", seq, test.name, d, l),
-    )
-    return result.weak
-
-
 def score_sequences(
     chip: HardwareProfile,
     patch_size: int,
@@ -80,14 +67,16 @@ def score_sequences(
     seed: int = 0,
     parallel: ParallelConfig | None = None,
     ledger=None,
+    submit: Callable | None = None,
 ) -> SequenceScores:
     """Score every σ up to the scale's maximum length.
 
     The (σ × test × distance × location) grid is embarrassingly
     parallel; each point derives its own seed from its coordinates, so
-    sharding the grid across worker processes (``parallel``) leaves the
-    scores bit-identical, and ``ledger`` checkpoints each finished
-    point for exact resumption.
+    fanning the grid out as litmus work units — locally under
+    ``parallel``, across machines under a distributed ``submit`` —
+    leaves the scores bit-identical, and ``ledger`` checkpoints each
+    finished point for exact resumption.
     """
     config = resolve_config(parallel, scale)
     locations = tuple(range(0, scale.max_location, patch_size))
@@ -103,24 +92,24 @@ def score_sequences(
         for d in distances
         for l in locations
     ]
-    keys = [
-        litmus_key(
-            chip.short_name, test.name,
-            f"seq.fix.l{l}.{'-'.join(seq)}", d, scale.seq_executions,
-            seed,
+    units = [
+        litmus_unit(
+            key=litmus_key(
+                chip.short_name, test.name,
+                f"seq.fix.l{l}.{'-'.join(seq)}", d, scale.seq_executions,
+                seed,
+            ),
+            chip=chip.short_name,
+            test=test.name,
+            distance=d,
+            stress_spec=FixedLocationStress((l,), seq),
+            executions=scale.seq_executions,
+            seed=derive_seed(seed, "seq", seq, test.name, d, l),
+            record_seed=seed,
         )
         for seq, test, d, l in grid
     ]
-    counts = ledgered_litmus_counts(
-        _sequence_cell,
-        [
-            (chip, seq, test, d, l, scale.seq_executions, seed)
-            for seq, test, d, l in grid
-        ],
-        keys,
-        [(test.name, d, (l,)) for _seq, test, d, l in grid],
-        scale.seq_executions, config, ledger, chip.short_name, seed,
-    )
+    counts = litmus_grid_counts(units, config, ledger, submit)
     for seq in sequences:
         scores.scores[seq] = {t.name: 0 for t in TUNING_TESTS}
     for (seq, test, _d, _l), weak in zip(grid, counts):

@@ -15,13 +15,15 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..chips.profile import HardwareProfile
-from ..litmus import TUNING_TESTS, LitmusTest, run_litmus
+from ..litmus import TUNING_TESTS, LitmusTest
+from ..litmus.units import litmus_unit
 from ..parallel import ParallelConfig, resolve_config
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
-from ..store import ledgered_litmus_counts, litmus_key
+from ..store import litmus_grid_counts, litmus_key
 from ..stress.strategies import FixedLocationStress
 
 #: The access sequence used while probing patches (paper: "the thread
@@ -53,21 +55,6 @@ class PatchScan:
         return [self.counts[(test, distance, l)] for l in self.locations]
 
 
-def _patch_cell(args: tuple) -> int:
-    """Process-pool worker: one ⟨T_d, l⟩ grid point of a patch scan."""
-    chip, test, d, l, executions, seed = args
-    spec = FixedLocationStress((l,), PROBE_SEQUENCE)
-    result = run_litmus(
-        chip,
-        test,
-        d,
-        spec,
-        executions,
-        seed=derive_seed(seed, "patch", test.name, d, l),
-    )
-    return result.weak
-
-
 def scan_patches(
     chip: HardwareProfile,
     scale: Scale = DEFAULT,
@@ -75,13 +62,15 @@ def scan_patches(
     tests: tuple[LitmusTest, ...] = TUNING_TESTS,
     parallel: ParallelConfig | None = None,
     ledger=None,
+    submit: Callable | None = None,
 ) -> PatchScan:
     """Run the ⟨T_d, l⟩ grid for one chip.
 
     Grid points are independent (each derives its own seed from its
-    coordinates), so with ``parallel`` the whole grid fans out across
-    worker processes with statistics identical to a serial run — and
-    with ``ledger`` every finished point persists as a litmus record,
+    coordinates), so the whole grid fans out as litmus work units —
+    across worker processes under ``parallel``, across machines under a
+    distributed ``submit`` — with statistics identical to a serial run.
+    With ``ledger`` every finished point persists as a litmus record,
     so an interrupted scan resumes at the first missing point.
     """
     config = resolve_config(parallel, scale)
@@ -96,23 +85,23 @@ def scan_patches(
     grid = [
         (test, d, l) for test in tests for d in distances for l in locations
     ]
-    keys = [
-        litmus_key(
-            chip.short_name, test.name, f"patch.fix.l{l}.st-ld", d,
-            scale.executions, seed,
+    units = [
+        litmus_unit(
+            key=litmus_key(
+                chip.short_name, test.name, f"patch.fix.l{l}.st-ld", d,
+                scale.executions, seed,
+            ),
+            chip=chip.short_name,
+            test=test.name,
+            distance=d,
+            stress_spec=FixedLocationStress((l,), PROBE_SEQUENCE),
+            executions=scale.executions,
+            seed=derive_seed(seed, "patch", test.name, d, l),
+            record_seed=seed,
         )
         for test, d, l in grid
     ]
-    counts = ledgered_litmus_counts(
-        _patch_cell,
-        [
-            (chip, test, d, l, scale.executions, seed)
-            for test, d, l in grid
-        ],
-        keys,
-        [(test.name, d, (l,)) for test, d, l in grid],
-        scale.executions, config, ledger, chip.short_name, seed,
-    )
+    counts = litmus_grid_counts(units, config, ledger, submit)
     for (test, d, l), weak in zip(grid, counts):
         scan.counts[(test.name, d, l)] = weak
     return scan

@@ -49,30 +49,34 @@ def tune_chip(
     seed: int = 0,
     parallel: ParallelConfig | None = None,
     ledger=None,
+    submit=None,
 ) -> TunedResult:
     """Run patch finding, sequence scoring and spread finding in order.
 
     The three stages are sequential (each consumes the previous stage's
     selection), but every stage's search grid is sharded across worker
-    processes under ``parallel`` with results identical to a serial run.
-    ``ledger`` checkpoints every grid point of every stage, so a
-    multi-hour tuning run killed mid-stage resumes at the first missing
-    point (each point derives its seed from its own coordinates, so the
-    resumed tables are bit-identical).
+    processes under ``parallel`` — or served to distributed workers
+    under ``submit`` (see :mod:`repro.dist`) — with results identical
+    to a serial run.  ``ledger`` checkpoints every grid point of every
+    stage, so a multi-hour tuning run killed mid-stage resumes at the
+    first missing point (each point derives its seed from its own
+    coordinates, so the resumed tables are bit-identical).
     """
     parallel_config = resolve_config(parallel, scale)
     started = time.perf_counter()
     scan = scan_patches(
-        chip, scale, seed, parallel=parallel_config, ledger=ledger
+        chip, scale, seed, parallel=parallel_config, ledger=ledger,
+        submit=submit,
     )
     patch, per_test = critical_patch_size(scan)
     seq_scores = score_sequences(
-        chip, patch, scale, seed, parallel=parallel_config, ledger=ledger
+        chip, patch, scale, seed, parallel=parallel_config, ledger=ledger,
+        submit=submit,
     )
     sequence = select_sequence(seq_scores)
     spread_scores = score_spreads(
         chip, patch, sequence, scale, seed, parallel=parallel_config,
-        ledger=ledger,
+        ledger=ledger, submit=submit,
     )
     spread = select_spread(spread_scores)
     config = StressConfig(

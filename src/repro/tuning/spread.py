@@ -11,13 +11,15 @@ The selected spread is Pareto-optimal over the three litmus tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..chips.profile import HardwareProfile
-from ..litmus import TUNING_TESTS, run_litmus
+from ..litmus import TUNING_TESTS
+from ..litmus.units import litmus_unit
 from ..parallel import ParallelConfig, resolve_config
 from ..rng import derive_seed
 from ..scale import DEFAULT, Scale
-from ..store import ledgered_litmus_counts, litmus_key
+from ..store import litmus_grid_counts, litmus_key
 from ..stress.config import StressConfig
 from ..stress.strategies import TunedStress
 
@@ -38,20 +40,6 @@ class SpreadScores:
         return sum(self.scores[m].values())
 
 
-def _spread_cell(args: tuple) -> int:
-    """Process-pool worker: one ⟨T_d, σ@L_m⟩ grid point."""
-    chip, spec, m, test, d, executions, seed = args
-    result = run_litmus(
-        chip,
-        test,
-        d,
-        spec,
-        executions,
-        seed=derive_seed(seed, "spread", m, test.name, d),
-    )
-    return result.weak
-
-
 def score_spreads(
     chip: HardwareProfile,
     patch_size: int,
@@ -60,11 +48,13 @@ def score_spreads(
     seed: int = 0,
     parallel: ParallelConfig | None = None,
     ledger=None,
+    submit: Callable | None = None,
 ) -> SpreadScores:
     """Score each spread 1..M for one chip.
 
-    The (m × test × distance) grid fans out across worker processes
-    under ``parallel``; per-point seed derivation keeps the scores
+    The (m × test × distance) grid fans out as litmus work units —
+    across worker processes under ``parallel``, across machines under a
+    distributed ``submit``; per-point seed derivation keeps the scores
     identical to a serial run.  ``ledger`` checkpoints each finished
     point for exact resumption.
     """
@@ -91,25 +81,25 @@ def score_spreads(
     grid = [
         (m, test, d) for m in spreads for test in TUNING_TESTS for d in distances
     ]
-    keys = [
-        litmus_key(
-            chip.short_name, test.name,
-            f"spread.m{m}.p{patch_size}.{'-'.join(sequence)}"
-            f".r{scale.max_spread}",
-            d, scale.spread_executions, seed,
+    units = [
+        litmus_unit(
+            key=litmus_key(
+                chip.short_name, test.name,
+                f"spread.m{m}.p{patch_size}.{'-'.join(sequence)}"
+                f".r{scale.max_spread}",
+                d, scale.spread_executions, seed,
+            ),
+            chip=chip.short_name,
+            test=test.name,
+            distance=d,
+            stress_spec=specs[m],
+            executions=scale.spread_executions,
+            seed=derive_seed(seed, "spread", m, test.name, d),
+            record_seed=seed,
         )
         for m, test, d in grid
     ]
-    counts = ledgered_litmus_counts(
-        _spread_cell,
-        [
-            (chip, specs[m], m, test, d, scale.spread_executions, seed)
-            for m, test, d in grid
-        ],
-        keys,
-        [(test.name, d, ()) for _m, test, d in grid],
-        scale.spread_executions, config, ledger, chip.short_name, seed,
-    )
+    counts = litmus_grid_counts(units, config, ledger, submit)
     for m in spreads:
         scores.scores[m] = {t.name: 0 for t in TUNING_TESTS}
     for (m, test, _d), weak in zip(grid, counts):

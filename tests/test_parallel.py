@@ -309,3 +309,165 @@ class TestSeedDerivation:
                     for i in range(start, stop)
                 )
             assert rebuilt == stream
+
+
+class TestSharedPool:
+    def test_serial_config_gets_no_pool(self):
+        from repro.parallel import shared_pool
+
+        assert shared_pool(SERIAL) is None
+
+    def test_pool_cached_per_worker_count(self):
+        from repro.parallel import close_shared_pools, shared_pool
+
+        try:
+            two = shared_pool(ParallelConfig(jobs=2))
+            assert shared_pool(ParallelConfig(jobs=2)) is two
+            three = shared_pool(ParallelConfig(jobs=3))
+            assert three is not two
+        finally:
+            close_shared_pools()
+
+    def test_close_forgets_pools(self):
+        from repro.parallel import close_shared_pools, shared_pool
+
+        pool = shared_pool(ParallelConfig(jobs=2))
+        close_shared_pools()
+        try:
+            assert shared_pool(ParallelConfig(jobs=2)) is not pool
+        finally:
+            close_shared_pools()
+
+    def test_pool_reuse_identical_results(self):
+        from repro.parallel import close_shared_pools, shared_pool
+
+        config = ParallelConfig(jobs=2)
+        items = list(range(20))
+        expected = parallel_map(_square, items, config)
+        try:
+            pool = shared_pool(config)
+            first = parallel_map(_square, items, config, pool=pool)
+            second = parallel_map(_square, items, config, pool=pool)
+            assert first == second == expected
+        finally:
+            close_shared_pools()
+
+
+def _square(x):
+    return x * x
+
+
+class TestResultHookError:
+    def test_hook_failure_is_typed_with_index(self):
+        from repro.errors import ResultHookError
+
+        def hook(index, result):
+            if index == 2:
+                raise RuntimeError("disk full")
+
+        with pytest.raises(ResultHookError) as info:
+            parallel_map(_square, [1, 2, 3, 4], SERIAL, on_result=hook)
+        assert info.value.index == 2
+        assert "disk full" in str(info.value)
+
+    def test_hook_raising_typed_error_passes_through(self):
+        from repro.errors import ResultHookError
+
+        original = ResultHookError(index=1, key="litmus:k", detail="x")
+
+        def hook(index, result):
+            raise original
+
+        with pytest.raises(ResultHookError) as info:
+            parallel_map(_square, [1, 2], SERIAL, on_result=hook)
+        assert info.value is original
+        assert info.value.key == "litmus:k"
+
+    def test_submit_units_hook_error_names_content_key(self, tmp_path):
+        # A checkpoint failure mid-campaign must surface the content key
+        # of the record that could not be written.
+        from repro.errors import ResultHookError
+        from repro.litmus.units import litmus_unit
+        from repro.store import RunLedger, litmus_key, submit_units
+        from repro.stress.strategies import NoStress
+
+        key = litmus_key("K20", "MP", "no-str", 64, 8, 0)
+        unit = litmus_unit(key, "K20", "MP", 64, NoStress(), 8, seed=0)
+        ledger = RunLedger.create(tmp_path / "led")
+
+        class Exploding:
+            def write(self, record):
+                raise OSError("disk full")
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return None
+
+        ledger.writer = lambda: Exploding()
+        with pytest.raises(ResultHookError) as info:
+            submit_units([unit], SERIAL, ledger)
+        assert info.value.key == key
+        assert "disk full" in str(info.value)
+
+
+class TestWorkUnits:
+    def _unit(self):
+        from repro.litmus.units import litmus_unit
+        from repro.store import litmus_key
+        from repro.stress.strategies import NoStress
+
+        key = litmus_key("K20", "MP", "no-str", 64, 8, 0)
+        return litmus_unit(key, "K20", "MP", 64, NoStress(), 8, seed=0)
+
+    def test_json_round_trip(self):
+        from repro.parallel import WorkUnit
+
+        unit = self._unit()
+        assert WorkUnit.from_json(unit.to_json()) == unit
+
+    def test_malformed_json_refused(self):
+        from repro.parallel import WorkUnit
+
+        for bad in (None, 17, {}, {"kind": "litmus"},
+                    {"kind": 1, "key": "k", "spec": {}}):
+            with pytest.raises(ReproError):
+                WorkUnit.from_json(bad)
+
+    def test_unknown_kind_refused(self):
+        from repro.parallel import WorkUnit, execute_unit
+
+        unit = WorkUnit(kind="no-such-kind", key="k", spec={})
+        with pytest.raises(ReproError, match="no executor"):
+            execute_unit(unit)
+
+    def test_executor_key_mismatch_refused(self):
+        from repro.litmus.units import execute_litmus_unit
+        from repro.parallel import WorkUnit, execute_unit, plan
+
+        unit = WorkUnit(kind="mismatch-kind", key="expected", spec={})
+        record_unit = self._unit()
+        plan.register_executor(
+            "mismatch-kind", lambda u: execute_litmus_unit(record_unit)
+        )
+        try:
+            with pytest.raises(ReproError, match="returned record key"):
+                execute_unit(unit)
+        finally:
+            plan._EXECUTORS.pop("mismatch-kind", None)
+
+    def test_run_units_matches_direct_execution(self):
+        from repro.litmus.units import execute_litmus_unit
+        from repro.parallel import run_units
+
+        unit = self._unit()
+        assert run_units([unit]) == [execute_litmus_unit(unit)]
+
+    def test_run_units_streams_records(self):
+        from repro.parallel import run_units
+
+        unit = self._unit()
+        seen = []
+        run_units([unit], SERIAL, on_record=lambda i, r: seen.append((i, r.key)))
+        assert seen == [(0, unit.key)]

@@ -15,10 +15,15 @@ import pytest
 from repro.apps import get_application
 from repro.chips import get_chip
 from repro.costs.measure import CostMeasurement, FencingStrategy
-from repro.errors import LedgerCorruptError, LedgerError, ReproError
+from repro.errors import (
+    LedgerConflictError,
+    LedgerCorruptError,
+    LedgerError,
+    ReproError,
+)
 from repro.hardening.insertion import InsertionResult
 from repro.litmus.results import LitmusResult
-from repro.parallel import CellShard, ParallelConfig
+from repro.parallel import CellShard, ParallelConfig, plan, run_units
 from repro.reporting.experiments import open_ledger, run_experiment
 from repro.scale import SMOKE
 from repro.store import (
@@ -301,13 +306,30 @@ class TestLedgerDurability:
         with pytest.raises(ReproError):
             RunLedger.open(tmp_path / "absent")
 
-    def test_latest_record_wins_on_duplicate_key(self, tmp_path):
+    def test_identical_duplicate_merges_idempotently(self, tmp_path):
         ledger = RunLedger.create(tmp_path / "led")
         key = campaign_cell_key("K20", "a", "e", 5, 0)
         ledger.append(store_records.encode_campaign_cell(key, CELL))
-        newer = dataclasses.replace(CELL, errors=9)
-        ledger.append(store_records.encode_campaign_cell(key, newer))
-        assert decode(RunLedger.open(ledger.root).get(key)) == newer
+        segments_before = len(list((tmp_path / "led").glob("seg-*.jsonl")))
+        # Re-appending the same record (a reassigned lease racing its
+        # original holder, a re-run experiment) is a no-op.
+        ledger.append(store_records.encode_campaign_cell(key, CELL))
+        assert len(ledger) == 1
+        segments_after = len(list((tmp_path / "led").glob("seg-*.jsonl")))
+        assert segments_after == segments_before
+        assert decode(RunLedger.open(ledger.root).get(key)) == CELL
+
+    def test_conflicting_duplicate_key_refused(self, tmp_path):
+        ledger = RunLedger.create(tmp_path / "led")
+        key = campaign_cell_key("K20", "a", "e", 5, 0)
+        ledger.append(store_records.encode_campaign_cell(key, CELL))
+        conflicting = dataclasses.replace(CELL, errors=9)
+        with pytest.raises(LedgerConflictError):
+            ledger.append(
+                store_records.encode_campaign_cell(key, conflicting)
+            )
+        # Nothing durable changed: the original record survives.
+        assert decode(RunLedger.open(ledger.root).get(key)) == CELL
 
     def test_killed_writer_truncated_tail_tolerated(self, tmp_path):
         ledger = RunLedger.create(tmp_path / "led")
@@ -380,6 +402,59 @@ class TestLedgerDurability:
             RunLedger.open(tmp_path / "led")
 
 
+class TestLedgerMerge:
+    """Content-key merge semantics backing the distributed ingest path."""
+
+    def _record(self, errors=3):
+        return store_records.encode_campaign_cell(
+            campaign_cell_key("K20", "a", "e", 5, 0),
+            dataclasses.replace(CELL, errors=errors),
+        )
+
+    def test_ingest_same_records_twice_writes_zero(self, tmp_path):
+        ledger = RunLedger.create(tmp_path / "led")
+        assert ledger.ingest([self._record()]) == 1
+        assert ledger.ingest([self._record()]) == 0
+        assert len(ledger) == 1
+
+    def test_ingest_conflicting_payload_refused(self, tmp_path):
+        ledger = RunLedger.create(tmp_path / "led")
+        ledger.ingest([self._record()])
+        with pytest.raises(LedgerConflictError):
+            ledger.ingest([self._record(errors=9)])
+        # The refusal left the original record untouched on disk.
+        reopened = RunLedger.open(tmp_path / "led")
+        cell = store_records.decode_campaign_cell(
+            reopened.get(campaign_cell_key("K20", "a", "e", 5, 0))
+        )
+        assert cell.errors == 3
+
+    def test_overlapping_shards_from_different_jobs_coexist(
+        self, tmp_path, k20
+    ):
+        """Two runs of the same grid at different ``--jobs`` produce
+        shard records with overlapping run ranges under *different*
+        content keys; merging their ledgers must not conflict, and a
+        resume over the merged ledger stays bit-identical."""
+        args = _campaign_args(k20)
+        cold = run_campaign(**args)
+
+        serial = RunLedger.create(tmp_path / "a")
+        run_campaign(**args, ledger=serial)
+        sharded = RunLedger.create(tmp_path / "b")
+        run_campaign(
+            **args, parallel=ParallelConfig(jobs=2), ledger=sharded
+        )
+
+        merged = RunLedger.create(tmp_path / "merged")
+        merged.ingest(serial.records())
+        # The jobs=2 cells are byte-identical (skipped); its shards
+        # cover the same run ranges under different keys (written).
+        written = merged.ingest(sharded.records())
+        assert written == sharded.counts_by_kind()["campaign-shard"]
+        assert run_campaign(**args, ledger=merged) == cold
+
+
 def _campaign_args(k20):
     return dict(
         chips=[k20],
@@ -401,28 +476,35 @@ class TestResumeParity:
 
         import repro.testing.campaign as campaign_module
 
-        real_map = campaign_module.parallel_map
+        real_submit_units = campaign_module.submit_units
 
-        def interrupting_map(fn, items, config, on_result=None):
+        def interrupting_submit_units(units, config, ledger, submit=None):
             count = 0
 
-            def counting(index, result):
-                nonlocal count
-                if on_result is not None:
-                    on_result(index, result)
-                count += 1
-                if count >= 2:
-                    raise KeyboardInterrupt
+            def interrupting_submit(batch, cfg, on_record):
+                def counting(index, record):
+                    nonlocal count
+                    if on_record is not None:
+                        on_record(index, record)
+                    count += 1
+                    if count >= 2:
+                        raise KeyboardInterrupt
 
-            return real_map(fn, items, config, counting)
+                return run_units(batch, cfg, counting)
+
+            return real_submit_units(
+                units, config, ledger, interrupting_submit
+            )
 
         ledger = RunLedger.create(tmp_path / "led")
         monkeypatch.setattr(
-            campaign_module, "parallel_map", interrupting_map
+            campaign_module, "submit_units", interrupting_submit_units
         )
         with pytest.raises(KeyboardInterrupt):
             run_campaign(**args, ledger=ledger)
-        monkeypatch.setattr(campaign_module, "parallel_map", real_map)
+        monkeypatch.setattr(
+            campaign_module, "submit_units", real_submit_units
+        )
 
         # The kill landed mid-campaign: some shards persisted, no cell
         # finished, and the resumed run completes bit-identically.
@@ -449,12 +531,10 @@ class TestResumeParity:
         ledger = RunLedger.create(tmp_path / "led")
         cells = run_campaign(**args, ledger=ledger)
 
-        import repro.testing.campaign as campaign_module
-
-        def explode(item):  # pragma: no cover - must never run
+        def explode(unit):  # pragma: no cover - must never run
             raise AssertionError("ledger-complete run simulated a shard")
 
-        monkeypatch.setattr(campaign_module, "_cell_shard", explode)
+        monkeypatch.setitem(plan._EXECUTORS, "campaign-shard", explode)
         assert run_campaign(**args, ledger=ledger) == cells
 
     def test_mid_cell_shard_records_shrink_the_resume(
@@ -467,38 +547,30 @@ class TestResumeParity:
 
         import repro.testing.campaign as campaign_module
 
-        real_shard = campaign_module._cell_shard
-        executed: list[tuple[int, int, int]] = []
+        real_execute = campaign_module.execute_campaign_unit
+        executed: list[tuple[str, int, int]] = []
 
-        def recording_shard(shard_args):
+        def recording_execute(unit):
             executed.append(
-                (shard_args[0], shard_args[5], shard_args[6])
+                (unit.spec["app"], unit.spec["start"], unit.spec["stop"])
             )
-            return real_shard(shard_args)
+            return real_execute(unit)
 
         # Pre-checkpoint runs [0, 3) of the first cell by hand.
         app = args["apps"][0]
-        env_name = "no-str-"
-        pre = real_shard((0, app, k20, _env(k20, env_name), 3, 0, 3))
-        ledger.append(
-            store_records.encode_campaign_shard(
-                campaign_shard_key(
-                    "K20", app.name, env_name, TINY.campaign_runs, 3, 0, 3
-                ),
-                "K20", app.name, env_name, TINY.campaign_runs, 3, pre,
-            )
+        pre_unit = campaign_module.campaign_unit(
+            k20, app, _env(k20, "no-str-"), TINY.campaign_runs, 3, 0, 3
         )
-        monkeypatch.setattr(
-            campaign_module, "_cell_shard", recording_shard
+        ledger.append(real_execute(pre_unit))
+        monkeypatch.setitem(
+            plan._EXECUTORS, "campaign-shard", recording_execute
         )
         resumed = run_campaign(**args, ledger=ledger)
         assert resumed == cold
         # The pre-checkpointed range was skipped...
-        assert (0, 0, 3) not in [
-            e for e in executed
-        ]
+        assert (app.name, 0, 3) not in executed
         # ...and its complement ran as one shard.
-        assert (0, 3, TINY.campaign_runs) in executed
+        assert (app.name, 3, TINY.campaign_runs) in executed
 
 
 def _env(chip, name):
@@ -526,36 +598,43 @@ class TestLedgeredExperiments:
 
         import repro.testing.campaign as campaign_module
 
-        real_map = campaign_module.parallel_map
+        real_submit_units = campaign_module.submit_units
 
-        def interrupting_map(fn, items, config, on_result=None):
+        def interrupting_submit_units(units, config, ledger, submit=None):
             count = 0
 
-            def counting(index, result):
-                nonlocal count
-                if on_result is not None:
-                    on_result(index, result)
-                count += 1
-                if count >= 3:
-                    raise KeyboardInterrupt
+            def interrupting_submit(batch, cfg, on_record):
+                def counting(index, record):
+                    nonlocal count
+                    if on_record is not None:
+                        on_record(index, record)
+                    count += 1
+                    if count >= 3:
+                        raise KeyboardInterrupt
 
-            return real_map(fn, items, config, counting)
+                return run_units(batch, cfg, counting)
+
+            return real_submit_units(
+                units, config, ledger, interrupting_submit
+            )
 
         out = str(tmp_path / "ledger")
         monkeypatch.setattr(
-            campaign_module, "parallel_map", interrupting_map
+            campaign_module, "submit_units", interrupting_submit_units
         )
         with pytest.raises(KeyboardInterrupt):
             run_experiment("table5", **kwargs, out=out)
-        monkeypatch.setattr(campaign_module, "parallel_map", real_map)
+        monkeypatch.setattr(
+            campaign_module, "submit_units", real_submit_units
+        )
 
         resumed = run_experiment("table5", **kwargs, resume=out)
         assert resumed == cold
 
-        def explode(item):  # pragma: no cover - must never run
+        def explode(unit):  # pragma: no cover - must never run
             raise AssertionError("complete ledger re-simulated a shard")
 
-        monkeypatch.setattr(campaign_module, "_cell_shard", explode)
+        monkeypatch.setitem(plan._EXECUTORS, "campaign-shard", explode)
         assert run_experiment("table5", **kwargs, resume=out) == cold
 
     def test_survey_renders_from_ledger_without_runs(
@@ -567,12 +646,12 @@ class TestLedgeredExperiments:
         out = str(tmp_path / "ledger")
         first = run_experiment("survey", **kwargs, out=out)
 
-        import repro.reporting.experiments as experiments_module
+        import repro.litmus.units  # noqa: F401 - registers the executor
 
-        def explode(*a, **k):  # pragma: no cover - must never run
+        def explode(unit):  # pragma: no cover - must never run
             raise AssertionError("survey re-ran a ledgered litmus test")
 
-        monkeypatch.setattr(experiments_module, "run_litmus", explode)
+        monkeypatch.setitem(plan._EXECUTORS, "litmus", explode)
         assert run_experiment("survey", **kwargs, resume=out) == first
 
     def test_open_ledger_rejects_mismatched_out_resume(self, tmp_path):
