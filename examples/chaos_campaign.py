@@ -1,0 +1,111 @@
+"""Chaos-testing a distributed campaign with repro.faults.
+
+The distributed layer promises that its merged output is byte-identical
+to a serial run *no matter what fails underneath it*: workers crashing,
+the coordinator restarting, ledger segments corrupting on disk.  This
+walkthrough makes that promise falsifiable.  A :class:`FaultPlan` is a
+seeded, declarative list of failures to inject at named sites; the
+chaos harness runs a Table 5 campaign under the plan and diffs the
+result against a fault-free serial reference.
+
+The plan used here stacks three independent disasters:
+
+1. a **poison unit** — one campaign shard raises on every worker that
+   tries it, until its attempt budget quarantines it (the harness then
+   repairs it serially, with injection suppressed);
+2. a **coordinator restart** after the third merged result — workers
+   ride out the outage with backoff and reconnect, and the restarted
+   coordinator rebuilds its lease table from merged records;
+3. a **corrupted ledger checkpoint** — one record's line on disk is
+   replaced with garbage; ``verify``/``salvage`` detect it, quarantine
+   the damaged segment and recover every intact record around it.
+
+Same plan + same seed = same injection trace, so a chaos failure is
+re-runnable exactly.
+
+Run with::
+
+    python examples/chaos_campaign.py
+"""
+
+import dataclasses
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.apps.registry import all_applications
+from repro.faults import FaultPlan, FaultSpec, run_chaos
+from repro.scale import SMOKE
+from repro.store.records import campaign_shard_key
+
+SCALE = dataclasses.replace(SMOKE, campaign_runs=8)
+CHIPS = ("K20",)
+ENVIRONMENTS = ("no-str-", "sys-str+")
+SEED = 7
+
+
+def main() -> None:
+    apps = [app.name for app in all_applications()]
+    runs = SCALE.campaign_runs
+    # Content keys make targeting exact: these are the very records the
+    # campaign will produce, so the plan poisons one specific shard and
+    # corrupts another's checkpoint line — deterministically.
+    poison = campaign_shard_key(
+        CHIPS[0], apps[0], "sys-str+", runs, SEED, 0, runs
+    )
+    corrupt = campaign_shard_key(
+        CHIPS[0], apps[1], "no-str-", runs, SEED, 0, runs
+    )
+    plan = FaultPlan(
+        name="walkthrough",
+        seed=41,
+        specs=(
+            FaultSpec("unit.execute", "raise", match=poison, role="worker"),
+            FaultSpec(
+                "coordinator.merge", "restart", skip=2, max_fires=1,
+                role="coordinator",
+            ),
+            FaultSpec(
+                "ledger.checkpoint", "corrupt", match=corrupt,
+                role="coordinator",
+            ),
+        ),
+    )
+
+    out = Path(tempfile.mkdtemp(prefix="chaos-example-")) / "ledger"
+    try:
+        print(f"Running table5 under plan {plan.name!r}...")
+        report = run_chaos(
+            "table5",
+            plan,
+            scale=SCALE,
+            seed=SEED,
+            workers=2,
+            out=str(out),
+            chips=CHIPS,
+            environments=ENVIRONMENTS,
+        )
+        print(report.summary())
+        assert report.identical, "chaos output must match serial"
+        assert set(report.quarantined) == {poison}
+        assert report.salvage is not None
+        assert report.salvage["recovered"] > 0
+        print()
+        print("Injection trace (site, kind, draw):")
+        for event in report.trace:
+            print(
+                f"  {event['site']:18s} {event['kind']:8s} "
+                f"draw={event['draw']}"
+            )
+        print()
+        print(
+            "The campaign survived a poison unit, a coordinator "
+            "restart and on-disk corruption — output byte-identical "
+            "to the fault-free serial run."
+        )
+    finally:
+        shutil.rmtree(out.parent, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

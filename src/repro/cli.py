@@ -10,7 +10,12 @@ Subcommands:
 * ``harden`` — empirical fence insertion for one application/chip;
 * ``coordinate`` — serve an experiment's work units to socket workers
   (scale-out across machines; ``--dist N`` self-spawns local workers);
-* ``worker`` — join a coordinator and execute leased work units;
+* ``worker`` — join a coordinator and execute leased work units
+  (SIGTERM drains gracefully: held leases release, nothing new starts);
+* ``chaos`` — run a distributable experiment under a fault-injection
+  plan and assert the output byte-identical to a serial run;
+* ``ledger`` — ``verify`` (read-only integrity scan) or ``salvage``
+  (quarantine corrupt segments, recover intact records) a run ledger;
 * ``chips`` / ``apps`` / ``tests`` — list the registries.
 
 Every run-loop subcommand accepts ``--jobs N`` to shard its work across
@@ -249,8 +254,33 @@ def _cmd_coordinate(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    import os
+    import signal
+
     from .dist import run_worker
 
+    if args.faults:
+        # Export rather than install directly: the injector auto-loads
+        # from the environment in this process *and* in every pool
+        # child this worker spawns (see repro.faults.runtime).
+        from .faults.runtime import PLAN_ENV, ROLE_ENV
+
+        os.environ[PLAN_ENV] = args.faults
+        os.environ.setdefault(ROLE_ENV, "worker")
+    draining = {"requested": False}
+
+    def request_drain(signum, frame) -> None:
+        if not draining["requested"]:
+            _stderr_log(
+                f"{args.name}: SIGTERM received; draining (starting "
+                "nothing new, releasing held leases, then bye)"
+            )
+        draining["requested"] = True
+
+    try:
+        signal.signal(signal.SIGTERM, request_drain)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
     host, port = _parse_connect(args.connect)
     run_worker(
         host,
@@ -260,8 +290,76 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         max_units=args.max_units,
         delay=args.delay,
         connect_timeout=args.connect_timeout,
+        reconnect_timeout=args.reconnect_timeout,
+        drain_check=lambda: draining["requested"],
         log=_stderr_log,
     )
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import FaultPlan
+    from .faults.chaos import run_chaos
+
+    try:
+        kwargs = _experiment_kwargs(args)
+        plan = FaultPlan.load(args.plan)
+        report = run_chaos(
+            args.id,
+            plan,
+            scale=args.scale,
+            seed=args.seed,
+            workers=args.workers,
+            out=args.out,
+            lease_timeout=args.lease_timeout,
+            reconnect_timeout=args.reconnect_timeout,
+            max_attempts=args.max_attempts,
+            log=_stderr_log,
+            **kwargs,
+        )
+    except (ReproError, ValueError) as exc:
+        print(f"gpu-wmm: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if not report.identical:
+        print(
+            "gpu-wmm: chaos output DIFFERS from the fault-free serial "
+            "reference — the hardening contract is broken",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from .store.ledger import salvage_ledger, verify_ledger
+
+    if args.action == "verify":
+        problems = verify_ledger(args.dir)
+        if not problems:
+            print(f"ledger at {args.dir}: clean")
+            return 0
+        for problem in problems:
+            line = f":{problem['line']}" if problem["line"] else ""
+            print(f"{problem['segment']}{line}: {problem['error']}")
+        print(
+            f"{len(problems)} problem(s) found; repair with: "
+            f"gpu-wmm ledger salvage {args.dir}"
+        )
+        return 1
+    summary = salvage_ledger(args.dir, log=_stderr_log)
+    print(
+        f"ledger at {args.dir}: "
+        f"{len(summary['quarantined_segments'])} segment(s) "
+        f"quarantined, {summary['recovered']} record(s) recovered, "
+        f"{len(summary['dropped'])} dropped"
+    )
+    if summary["quarantined_segments"]:
+        print(
+            "damaged segments kept under "
+            f"{args.dir}/quarantine/; resume the campaign to re-run "
+            "any records that were destroyed"
+        )
     return 0
 
 
@@ -422,6 +520,10 @@ def _epilog() -> str:
             "  gpu-wmm coordinate table5 --host 0.0.0.0 --port 7077 \\",
             "      --scale paper --out ledger/",
             "  gpu-wmm worker --connect big-box:7077 --jobs 0",
+            "  gpu-wmm chaos table5 --plan examples/fault-plan.json \\",
+            "      --chips K20 --out chaos-ledger/",
+            "  gpu-wmm ledger verify chaos-ledger/",
+            "  gpu-wmm ledger salvage chaos-ledger/",
             "  gpu-wmm harden cbe-dot --chip Titan --jobs 0",
         ]
     )
@@ -617,7 +719,110 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="process-pool width for executing each lease (default: 1)",
     )
+    p.add_argument(
+        "--reconnect-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help=(
+            "ride out a coordinator outage for up to S seconds via "
+            "backoff-and-reconnect before giving up (default: 30; "
+            "0 = fail immediately on any connection loss)"
+        ),
+    )
+    p.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help=(
+            "arm this worker (and its pool children) with a "
+            "fault-injection plan for chaos testing"
+        ),
+    )
     p.set_defaults(fn=_cmd_worker)
+
+    p = sub.add_parser(
+        "chaos",
+        help=(
+            "run a distributable experiment under a fault-injection "
+            "plan and assert byte-identical output vs a serial run"
+        ),
+    )
+    p.add_argument(
+        "id",
+        choices=sorted(DISTRIBUTABLE),
+        help="distributable experiment to stress",
+    )
+    p.add_argument(
+        "--plan",
+        required=True,
+        metavar="PLAN.json",
+        help="fault plan JSON (see docs/ARCHITECTURE.md, Failure model)",
+    )
+    add_experiment_filters(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--scale",
+        default="smoke",
+        choices=["smoke", "default", "paper"],
+        help="experiment scale preset (default: smoke)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="local worker subprocesses to spawn (default: 2)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help=(
+            "attach a run ledger at DIR (also exercises ledger "
+            "verify/salvage/resume when the plan injects ledger damage)"
+        ),
+    )
+    p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=15.0,
+        metavar="S",
+        help="coordinator lease timeout under chaos (default: 15)",
+    )
+    p.add_argument(
+        "--reconnect-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="worker outage tolerance under chaos (default: 30)",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "per-unit failure budget before quarantine (default: 3)"
+        ),
+    )
+    p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "ledger",
+        help="verify or salvage a run ledger's on-disk integrity",
+    )
+    p.add_argument(
+        "action",
+        choices=["verify", "salvage"],
+        help=(
+            "verify: read-only integrity scan (exit 1 on damage); "
+            "salvage: quarantine corrupt segments and recover intact "
+            "records"
+        ),
+    )
+    p.add_argument("dir", help="ledger directory")
+    p.set_defaults(fn=_cmd_ledger)
 
     p = sub.add_parser("chips", help="list the chip registry")
     p.set_defaults(fn=_cmd_chips)

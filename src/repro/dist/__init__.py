@@ -10,7 +10,7 @@ invariants.
 """
 
 from .coordinator import Coordinator
-from .leases import Lease, LeaseTable
+from .leases import MAX_ATTEMPTS, Lease, LeaseTable, Settlement
 from .protocol import (
     MAX_FRAME,
     PROTOCOL_VERSION,
@@ -20,7 +20,7 @@ from .protocol import (
     send_message,
 )
 from .submit import DistributedSubmit, worker_command
-from .worker import run_worker
+from .worker import backoff_delay, clamp_retry_s, run_worker
 
 __all__ = [
     "Coordinator",
@@ -28,8 +28,12 @@ __all__ = [
     "FrameDecoder",
     "Lease",
     "LeaseTable",
+    "MAX_ATTEMPTS",
     "MAX_FRAME",
     "PROTOCOL_VERSION",
+    "Settlement",
+    "backoff_delay",
+    "clamp_retry_s",
     "encode_frame",
     "recv_message",
     "run_worker",

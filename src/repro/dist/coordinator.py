@@ -5,29 +5,51 @@ One coordinator serves one plan (a sequence of
 (:mod:`repro.dist.protocol`), request leases, and stream back one
 :class:`~repro.store.records.RunRecord` per unit.  The coordinator is a
 single-threaded ``selectors`` event loop — no locks, no threads — and
-every failure mode reduces to the same move: a lease whose worker
+every failure mode reduces to the same two moves: a lease whose worker
 vanished (EOF) or hung (deadline passed) re-pends its units for the
-next requester.
+next requester, and every such loss — like every worker-reported
+execution failure — charges the unit's attempt budget.  A unit that
+exhausts the budget is *quarantined* (see
+:class:`~repro.dist.leases.LeaseTable`): the campaign completes around
+it and :meth:`Coordinator.serve` raises
+:class:`~repro.errors.QuarantineError` carrying both the parked keys
+and every healthy record, so one poison unit can neither crash-loop
+the fleet nor silently punch a hole in the merge.
 
 The merge is by content key and idempotent: a reassigned lease coming
 back twice folds to one record when payloads agree and raises
 :class:`~repro.errors.LedgerConflictError` when they disagree (which,
 under the determinism contract, can only mean corruption).  Coverage is
 validated exactly — :meth:`Coordinator.serve` returns records for *all*
-units in unit order or raises :class:`~repro.errors.DistError` — so a
-distributed campaign is provably the same bytes as a serial one.
+units in unit order, or raises a typed error distinguishing
+"incomplete" (:class:`~repro.errors.DistError`, a bug) from
+"quarantined" (poison units, reported) — so a distributed campaign is
+provably the same bytes as a serial one.
+
+Fault site ``coordinator.merge`` (kind ``restart``) simulates a
+coordinator crash immediately after a result merges: every client is
+dropped, the listener rebinds on the same port, and the lease table is
+rebuilt from merged records exactly as a real restart resumes from the
+run ledger.  Workers ride it out via reconnect-with-backoff.
 """
 
 from __future__ import annotations
 
 import selectors
 import socket
+from collections import deque
 from typing import Callable, Sequence
 
-from ..errors import DistError, LedgerConflictError, ProtocolError
+from ..errors import (
+    DistError,
+    LedgerConflictError,
+    ProtocolError,
+    QuarantineError,
+)
+from ..faults.runtime import fault_at
 from ..parallel.plan import WorkUnit
 from ..store.records import RunRecord
-from .leases import LeaseTable
+from .leases import MAX_ATTEMPTS, LeaseTable
 from .protocol import PROTOCOL_VERSION, FrameDecoder, send_message
 
 #: How long an idle worker is told to wait before re-requesting work.
@@ -54,7 +76,8 @@ class Coordinator:
 
     Parameters mirror the lease model: ``lease_timeout`` is how long a
     silent worker holds its units, ``units_per_lease`` trades dispatch
-    round-trips against reassignment granularity.  ``on_record(index,
+    round-trips against reassignment granularity, ``max_attempts`` is
+    the per-unit failure budget before quarantine.  ``on_record(index,
     record)`` streams each *fresh* merged record back in completion
     order — the same checkpointing hook the local pool backend uses, so
     :func:`~repro.store.resume.submit_units` works unchanged on top.
@@ -72,6 +95,7 @@ class Coordinator:
         port: int = 0,
         lease_timeout: float = 60.0,
         units_per_lease: int = 1,
+        max_attempts: int = MAX_ATTEMPTS,
         on_record: Callable[[int, RunRecord], None] | None = None,
         stop_check: Callable[[], str | None] | None = None,
         log: Callable[[str], None] | None = None,
@@ -80,14 +104,12 @@ class Coordinator:
         self.host = host
         self.port = port
         self.lease_timeout = lease_timeout
+        self.units_per_lease = units_per_lease
+        self.max_attempts = max_attempts
         self.on_record = on_record
         self.stop_check = stop_check
         self.log = log or (lambda message: None)
-        self._table = LeaseTable(
-            n_units=len(self.units),
-            timeout=lease_timeout,
-            units_per_lease=units_per_lease,
-        )
+        self._table = self._fresh_table()
         self._key_to_index = {
             unit.key: i for i, unit in enumerate(self.units)
         }
@@ -99,6 +121,15 @@ class Coordinator:
         self._records: dict[int, RunRecord] = {}
         self._listener: socket.socket | None = None
         self._conn_count = 0
+        self._restart_requested = False
+
+    def _fresh_table(self) -> LeaseTable:
+        return LeaseTable(
+            n_units=len(self.units),
+            timeout=self.lease_timeout,
+            units_per_lease=self.units_per_lease,
+            max_attempts=self.max_attempts,
+        )
 
     # -- lifecycle ------------------------------------------------------
     def bind(self) -> tuple[str, int]:
@@ -121,9 +152,11 @@ class Coordinator:
     def serve(self) -> list[RunRecord]:
         """Run the event loop to completion; records in unit order.
 
-        Returns only when every unit's record has merged; a coverage
-        hole (impossible unless the loop is aborted) or an exhausted
-        worker fleet raises :class:`~repro.errors.DistError`.
+        Returns only when every unit's record has merged.  Units parked
+        in quarantine raise :class:`~repro.errors.QuarantineError`
+        (carrying all healthy records); a coverage hole without
+        quarantine (impossible unless the loop is aborted) raises
+        :class:`~repro.errors.DistError`.
         """
         self.bind()
         assert self._listener is not None
@@ -145,11 +178,16 @@ class Coordinator:
                         self._accept(selector, clients)
                     else:
                         self._service(key.data, selector, clients)
+                    if self._restart_requested:
+                        break
+                if self._restart_requested:
+                    self._restart(selector, clients)
                 for lease in self._table.expire():
                     self.log(
                         f"lease {lease.lease_id} ({lease.worker}) "
                         f"expired; re-pending units {list(lease.indices)}"
                     )
+                    self._note_quarantines(lease.indices)
             for client in clients.values():
                 try:
                     send_message(client.sock, {"type": "done"})
@@ -162,6 +200,38 @@ class Coordinator:
             self._listener.close()
             self._listener = None
         return self._merged()
+
+    def _restart(
+        self,
+        selector: selectors.BaseSelector,
+        clients: dict[socket.socket, _Client],
+    ) -> None:
+        """Simulate a coordinator crash+restart in-process: sever every
+        connection, rebind the same port, and rebuild lease state from
+        merged records — exactly what a real restart recovers from the
+        run ledger.  In-flight leases and attempt counts are lost, as
+        they would be."""
+        self._restart_requested = False
+        self.log(
+            f"injected coordinator restart: dropping {len(clients)} "
+            f"connection(s), rebinding {self.host}:{self.port}"
+        )
+        for sock, client in list(clients.items()):
+            selector.unregister(sock)
+            sock.close()
+        clients.clear()
+        assert self._listener is not None
+        selector.unregister(self._listener)
+        self._listener.close()
+        self._listener = None
+        self.bind()  # self.port is already resolved: same address
+        selector.register(self._listener, selectors.EVENT_READ, None)
+        self._table = self._fresh_table()
+        merged = set(self._records)
+        self._table.pending = deque(
+            i for i in range(len(self.units)) if i not in merged
+        )
+        self._table.completed = set(merged)
 
     # -- event handling -------------------------------------------------
     def _poll_timeout(self) -> float:
@@ -198,9 +268,19 @@ class Coordinator:
                 f"worker {client.ident} gone; re-pending lease "
                 f"{lease.lease_id} units {list(lease.indices)}"
             )
+            self._note_quarantines(lease.indices)
         selector.unregister(client.sock)
         del clients[client.sock]
         client.sock.close()
+
+    def _note_quarantines(self, indices: tuple[int, ...]) -> None:
+        """Log any of ``indices`` that the last charge just parked."""
+        for index in indices:
+            reason = self._table.quarantined.get(index)
+            if reason is not None and index not in self._records:
+                self.log(
+                    f"unit {self.units[index].key!r} quarantined: {reason}"
+                )
 
     def _service(
         self,
@@ -229,8 +309,8 @@ class Coordinator:
             return
         for message in messages:
             self._handle(client, message, selector, clients)
-            if client.sock not in clients:
-                break  # connection was dropped mid-batch
+            if client.sock not in clients or self._restart_requested:
+                break  # connection dropped (or restarting) mid-batch
 
     def _handle(
         self,
@@ -292,9 +372,17 @@ class Coordinator:
                     client.sock, {"type": "wait", "retry_s": WAIT_RETRY_S}
                 )
         elif kind == "heartbeat":
-            # A heartbeat for an expired (reassigned) lease is simply
-            # ignored; the late result will merge idempotently.
-            self._table.heartbeat(message.get("lease", -1))
+            lease_id = message.get("lease", -1)
+            held = self._table.heartbeat(lease_id)
+            if not held:
+                self.log(
+                    f"heartbeat from {client.ident} for lost lease "
+                    f"{lease_id}; telling worker to discard it"
+                )
+            send_message(
+                client.sock,
+                {"type": "beat", "lease": lease_id, "held": held},
+            )
         elif kind == "result":
             self._merge_result(client, message)
         elif kind == "bye":
@@ -310,6 +398,7 @@ class Coordinator:
         records = [
             RunRecord.from_json(obj) for obj in message.get("records", [])
         ]
+        completed: set[int] = set()
         for record in records:
             index = self._key_to_index.get(record.key)
             if index is None:
@@ -317,6 +406,7 @@ class Coordinator:
                     f"worker {client.ident} returned record for unknown "
                     f"content key {record.key!r}; plan/worker mismatch"
                 )
+            completed.add(index)
             existing = self._records.get(index)
             if existing is None:
                 self._records[index] = record
@@ -335,15 +425,63 @@ class Coordinator:
                 )
             # identical duplicate (reassigned lease raced its original
             # holder): idempotent, drop silently.
-        completed = self._table.complete(message.get("lease", -1))
-        if completed:
-            self.log(
-                f"{len(self._table.completed)}/{len(self.units)} units "
-                f"complete ({client.ident})"
-            )
+        failed: dict[int, str] = {}
+        for entry in message.get("failed", []):
+            index = self._key_to_index.get(entry.get("key"))
+            if index is None:
+                raise DistError(
+                    f"worker {client.ident} reported failure for unknown "
+                    f"content key {entry.get('key')!r}; plan/worker "
+                    "mismatch"
+                )
+            failed[index] = str(entry.get("error") or "unspecified failure")
+        settlement = self._table.settle(
+            message.get("lease", -1), completed=completed, failed=failed
+        )
+        if settlement is not None:
+            for index in settlement.repended:
+                self.log(
+                    f"unit {self.units[index].key!r} failed on "
+                    f"{client.ident} (attempt "
+                    f"{self._table.attempts[index]}/"
+                    f"{self._table.max_attempts}): {failed[index]}; "
+                    "re-pended"
+                )
+            for index in settlement.quarantined:
+                self.log(
+                    f"unit {self.units[index].key!r} quarantined: "
+                    f"{self._table.quarantined[index]}"
+                )
+            if settlement.abandoned:
+                self.log(
+                    f"{client.ident} abandoned "
+                    f"{len(settlement.abandoned)} unit(s) (drain); "
+                    "re-pended without charge"
+                )
+            if settlement.completed:
+                self.log(
+                    f"{len(self._table.completed)}/{len(self.units)} "
+                    f"units complete ({client.ident})"
+                )
+        if records and fault_at("coordinator.merge") is not None:
+            self._restart_requested = True
 
     # -- merge ----------------------------------------------------------
     def _merged(self) -> list[RunRecord]:
+        # A quarantined unit whose record later arrived anyway (a slow
+        # duplicate beat the budget) is healthy after all.
+        quarantined = {
+            self.units[index].key: reason
+            for index, reason in sorted(self._table.quarantined.items())
+            if index not in self._records
+        }
+        if quarantined:
+            healthy = [
+                self._records[i]
+                for i in range(len(self.units))
+                if i in self._records
+            ]
+            raise QuarantineError(quarantined, records=healthy)
         missing = [
             self.units[i].key
             for i in range(len(self.units))

@@ -3,10 +3,19 @@
 The coordinator partitions a campaign's work units into *leases*: a
 lease is a batch of unit indices granted to one worker together with a
 deadline.  The worker heartbeats to extend the deadline while it
-computes; when results come back the lease completes; when the deadline
+computes; when results come back the lease settles; when the deadline
 passes (worker hung) or the connection drops (worker died, e.g.
 ``kill -9``) the lease's unfinished units return to the pending queue
 and the next requesting worker picks them up.
+
+Every failure a unit survives — an explicit worker-reported execution
+failure, a lost connection, an expired deadline — spends one charge of
+its *attempt budget*.  A unit that exhausts the budget is **poison**:
+instead of crash-looping the fleet forever it is parked in the
+quarantine list, reported at merge time, and the campaign completes
+around it (``done`` counts quarantined units as resolved).  Voluntary
+abandonment (a draining worker returning unexecuted units) costs
+nothing — it is not the unit's fault.
 
 Nothing here touches sockets or time directly — ``now`` is injected so
 tests can drive expiry deterministically — and nothing here knows what
@@ -23,6 +32,9 @@ from typing import Callable
 
 from ..errors import DistError
 
+#: Default per-unit attempt budget before quarantine.
+MAX_ATTEMPTS = 3
+
 
 @dataclass
 class Lease:
@@ -35,19 +47,34 @@ class Lease:
 
 
 @dataclass
-class LeaseTable:
-    """Pending/active/completed bookkeeping over ``n_units`` units.
+class Settlement:
+    """What one lease settlement did, for logging and merge decisions."""
 
-    * ``pending`` — unit indices nobody holds (deque; reassigned units
-      go to the *front* so a recovering campaign finishes stragglers
-      first);
+    completed: tuple[int, ...] = ()
+    repended: tuple[int, ...] = ()
+    quarantined: tuple[int, ...] = ()
+    abandoned: tuple[int, ...] = ()
+
+
+@dataclass
+class LeaseTable:
+    """Pending/active/completed/quarantined bookkeeping over
+    ``n_units`` units.
+
+    * ``pending`` — unit indices nobody holds (deque; *reassigned*
+      units go to the front so a recovering campaign finishes
+      stragglers first, while *failed* units go to the back so healthy
+      work drains before a flaky unit is retried);
     * ``active`` — granted leases by id;
-    * ``completed`` — unit indices whose results have merged.
+    * ``completed`` — unit indices whose results have merged;
+    * ``quarantined`` — unit index -> reason, for units that exhausted
+      ``max_attempts`` (never granted again; counted as resolved).
     """
 
     n_units: int
     timeout: float = 60.0
     units_per_lease: int = 1
+    max_attempts: int = MAX_ATTEMPTS
     now: Callable[[], float] = field(default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
@@ -61,9 +88,18 @@ class LeaseTable:
             raise DistError(
                 f"units_per_lease must be >= 1, got {self.units_per_lease}"
             )
+        if self.max_attempts < 1:
+            raise DistError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
         self.pending: deque[int] = deque(range(self.n_units))
         self.active: dict[int, Lease] = {}
         self.completed: set[int] = set()
+        self.quarantined: dict[int, str] = {}
+        #: index -> number of attempt-budget charges spent.
+        self.attempts: dict[int, int] = {}
+        #: index -> distinct workers that charged it (for the report).
+        self.failed_workers: dict[int, set[str]] = {}
         self._next_id = 1
 
     # -- grants ---------------------------------------------------------
@@ -97,28 +133,92 @@ class LeaseTable:
         lease.deadline = self.now() + self.timeout
         return True
 
-    def complete(self, lease_id: int) -> tuple[int, ...]:
-        """Mark a lease's units done; returns the indices completed.
+    def settle(
+        self,
+        lease_id: int,
+        completed: set[int] | None = None,
+        failed: dict[int, str] | None = None,
+    ) -> Settlement | None:
+        """Resolve a lease from its worker's result report.
 
-        Completing an unknown lease returns ``()`` — the lease expired,
-        was reassigned, and its duplicate results merge idempotently by
-        content key, so the late worker is simply thanked and ignored.
+        ``completed`` are indices whose records merged; ``failed`` maps
+        indices the worker *tried and could not execute* to an error
+        description (each charges the unit's attempt budget); any other
+        lease index was abandoned without an attempt (a draining
+        worker) and re-pends for free.  Settling an unknown lease
+        returns None — the lease expired, was reassigned, and its
+        duplicate results merge idempotently by content key, so the
+        late worker is simply thanked and ignored.
         """
         lease = self.active.pop(lease_id, None)
         if lease is None:
+            return None
+        completed = completed or set()
+        failed = failed or {}
+        done, repended, parked, abandoned = [], [], [], []
+        for index in lease.indices:
+            if index in self.completed or index in self.quarantined:
+                continue
+            if index in completed:
+                self.completed.add(index)
+                done.append(index)
+            elif index in failed:
+                if self._charge(index, lease.worker, failed[index]):
+                    parked.append(index)
+                else:
+                    # Failed units go to the back: drain healthy work
+                    # before retrying a flaky unit.
+                    self.pending.append(index)
+                    repended.append(index)
+            else:
+                abandoned.append(index)
+        for index in reversed(abandoned):
+            self.pending.appendleft(index)
+        return Settlement(
+            completed=tuple(done),
+            repended=tuple(repended),
+            quarantined=tuple(parked),
+            abandoned=tuple(abandoned),
+        )
+
+    def complete(self, lease_id: int) -> tuple[int, ...]:
+        """Mark a whole lease's units done; returns the indices
+        completed (the no-failure fast path over :meth:`settle`)."""
+        lease = self.active.get(lease_id)
+        if lease is None:
             return ()
-        self.completed.update(lease.indices)
-        return lease.indices
+        settlement = self.settle(lease_id, completed=set(lease.indices))
+        return settlement.completed if settlement else ()
 
     # -- failure paths --------------------------------------------------
+    def _charge(self, index: int, worker: str, reason: str) -> bool:
+        """Spend one attempt-budget charge; True when the unit just
+        crossed into quarantine."""
+        spent = self.attempts.get(index, 0) + 1
+        self.attempts[index] = spent
+        self.failed_workers.setdefault(index, set()).add(worker)
+        if spent >= self.max_attempts:
+            workers = ", ".join(sorted(self.failed_workers[index]))
+            self.quarantined[index] = (
+                f"{spent} failed attempts across worker(s) [{workers}]; "
+                f"last: {reason}"
+            )
+            return True
+        return False
+
     def expire(self) -> list[Lease]:
-        """Re-pend every lease whose deadline has passed (hung worker)."""
+        """Re-pend every lease whose deadline has passed (hung worker).
+
+        The boundary is inclusive: a lease expiring exactly *at* the
+        injected clock's ``now`` is expired (integer test clocks step
+        right onto deadlines).
+        """
         now = self.now()
         expired = [
-            lease for lease in self.active.values() if lease.deadline < now
+            lease for lease in self.active.values() if lease.deadline <= now
         ]
         for lease in expired:
-            self._reassign(lease)
+            self._reassign(lease, "lease deadline expired")
         return expired
 
     def release_worker(self, worker: str) -> list[Lease]:
@@ -127,13 +227,18 @@ class LeaseTable:
             lease for lease in self.active.values() if lease.worker == worker
         ]
         for lease in dropped:
-            self._reassign(lease)
+            self._reassign(lease, "worker connection lost")
         return dropped
 
-    def _reassign(self, lease: Lease) -> None:
+    def _reassign(self, lease: Lease, reason: str) -> None:
+        """A lost lease charges each unfinished unit's attempt budget —
+        a unit that keeps taking workers down with it (a poison unit
+        whose executor exits the process) must still hit quarantine."""
         del self.active[lease.lease_id]
         for index in reversed(lease.indices):
-            if index not in self.completed:
+            if index in self.completed or index in self.quarantined:
+                continue
+            if not self._charge(index, lease.worker, reason):
                 self.pending.appendleft(index)
 
     # -- queries --------------------------------------------------------
@@ -145,4 +250,6 @@ class LeaseTable:
 
     @property
     def done(self) -> bool:
-        return len(self.completed) == self.n_units
+        return (
+            len(self.completed) + len(self.quarantined) == self.n_units
+        )

@@ -8,12 +8,19 @@ worker -> coordinator
     ``hello``      {type, worker, protocol}
     ``request``    {type}                       ask for a lease
     ``heartbeat``  {type, lease}                extend a lease deadline
-    ``result``     {type, lease, records: [RunRecord JSON, ...]}
+    ``result``     {type, lease, records: [RunRecord JSON, ...],
+                    failed: [{key, error}, ...]}
     ``bye``        {type}                       leaving voluntarily
 
 coordinator -> worker
     ``welcome``    {type, protocol, units_total}
     ``lease``      {type, lease, deadline_s, units: [WorkUnit JSON, ...]}
+    ``beat``       {type, lease, held}          heartbeat reply;
+                                                held=False means the
+                                                lease expired and was
+                                                reassigned — the worker
+                                                must discard in-flight
+                                                work for it
     ``wait``       {type, retry_s}              no work *right now*
     ``done``       {type}                       campaign complete
     ``error``      {type, message}              fatal, close connection
@@ -22,6 +29,20 @@ The protocol is deliberately dumb: no negotiation beyond a version
 check, no compression, no partial results.  All correctness lives in
 content keys — a frame can be lost, duplicated or replayed and the
 merge stays exact.
+
+Version history: v1 had fire-and-forget heartbeats and no ``failed``
+list; v2 (current) acknowledges every heartbeat with ``beat`` so a
+worker learns mid-computation that its lease is gone, and lets a
+worker report per-unit execution failures so the coordinator can
+charge attempt budgets instead of waiting out a lease deadline.
+
+Both framing primitives are fault-injection sites (see
+:mod:`repro.faults`): ``socket.send`` can drop a frame, send a partial
+frame then reset, delay, or write garbage; ``socket.recv`` can reset,
+delay, or feed garbage into the decoder.  Injected failures surface as
+the same exceptions real ones do (``ConnectionResetError``,
+:class:`~repro.errors.ProtocolError`), so the hardening they exercise
+is exactly the production code path.
 """
 
 from __future__ import annotations
@@ -29,17 +50,24 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import time
 
 from ..errors import ProtocolError
+from ..faults.runtime import fault_at
 
 #: Bump on any incompatible message change.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Hard per-frame ceiling; a frame this size indicates a bug or garbage
 #: bytes (a stray HTTP client, a corrupted length prefix).
 MAX_FRAME = 64 * 1024 * 1024
 
 _HEADER = struct.Struct(">I")
+
+#: Bytes injected by the ``garbage`` fault kinds: a length prefix far
+#: beyond MAX_FRAME, so the receiving decoder rejects the stream with a
+#: typed ProtocolError instead of stalling on a bogus frame.
+_GARBAGE = b"\xff\xff\xff\xff\xfe\xed\xfa\xce"
 
 
 def encode_frame(message: dict) -> bytes:
@@ -54,8 +82,42 @@ def encode_frame(message: dict) -> bytes:
 
 
 def send_message(sock: socket.socket, message: dict) -> None:
-    """Send one framed message (blocking)."""
-    sock.sendall(encode_frame(message))
+    """Send one framed message (blocking).
+
+    Fault site ``socket.send`` (token: the message ``type``): ``drop``
+    loses the frame silently, ``partial`` writes half the frame then
+    resets the connection, ``delay`` sleeps ``delay_s`` before sending,
+    ``garbage`` replaces the frame with undecodable bytes.
+    """
+    frame = encode_frame(message)
+    event = fault_at("socket.send", token=message.get("type"))
+    if event is not None:
+        if event.kind == "drop":
+            return
+        if event.kind == "partial":
+            with _ignore_oserror():
+                sock.sendall(frame[: max(1, len(frame) // 2)])
+                sock.shutdown(socket.SHUT_RDWR)
+            raise ConnectionResetError(
+                f"injected partial frame ({event.site}, token "
+                f"{event.token!r})"
+            )
+        if event.kind == "delay":
+            time.sleep(float(event.param("delay_s", 0.05)))
+        elif event.kind == "garbage":
+            frame = _GARBAGE
+    sock.sendall(frame)
+
+
+class _ignore_oserror:
+    """Tiny context manager: best-effort socket teardown during an
+    injected reset must not mask the injection itself."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return exc_type is not None and issubclass(exc_type, OSError)
 
 
 class FrameDecoder:
@@ -111,9 +173,23 @@ def recv_message(
     The worker-side convenience: reads into ``decoder`` until it yields
     a frame.  Frames beyond the first queue on ``decoder.pending`` and
     are returned by subsequent calls without touching the socket.
+
+    Fault site ``socket.recv``: ``drop`` resets the connection,
+    ``delay`` sleeps before reading, ``garbage`` feeds undecodable
+    bytes to the decoder (surfacing as a ProtocolError).
     """
     if decoder.pending:
         return decoder.pending.pop(0)
+    event = fault_at("socket.recv")
+    if event is not None:
+        if event.kind == "drop":
+            raise ConnectionResetError(
+                f"injected connection reset on recv (draw {event.draw})"
+            )
+        if event.kind == "delay":
+            time.sleep(float(event.param("delay_s", 0.05)))
+        elif event.kind == "garbage":
+            decoder.feed(_GARBAGE)  # raises ProtocolError
     while True:
         try:
             data = sock.recv(65536)

@@ -28,11 +28,18 @@ from .coordinator import Coordinator
 
 
 def worker_command(
-    host: str, port: int, name: str, jobs: int = 1
+    host: str,
+    port: int,
+    name: str,
+    jobs: int = 1,
+    fault_plan: str | None = None,
+    reconnect_timeout: float | None = None,
 ) -> list[str]:
     """The argv that joins a worker to a coordinator — the same command
-    a remote machine runs by hand."""
-    return [
+    a remote machine runs by hand.  ``fault_plan`` (a plan JSON path)
+    arms the worker's fault injector; ``reconnect_timeout`` overrides
+    how long it rides out a coordinator outage."""
+    argv = [
         sys.executable,
         "-m",
         "repro",
@@ -44,6 +51,11 @@ def worker_command(
         "--jobs",
         str(jobs),
     ]
+    if fault_plan is not None:
+        argv += ["--faults", str(fault_plan)]
+    if reconnect_timeout is not None:
+        argv += ["--reconnect-timeout", str(reconnect_timeout)]
+    return argv
 
 
 def _worker_env() -> dict[str, str]:
@@ -74,6 +86,14 @@ class DistributedSubmit:
     lease_timeout: float = 60.0
     units_per_lease: int = 1
     worker_jobs: int = 1
+    #: Per-unit failure budget before quarantine (see
+    #: :class:`~repro.dist.leases.LeaseTable`).
+    max_attempts: int = 3
+    #: Path to a fault-plan JSON armed in every spawned worker (chaos
+    #: runs); None leaves workers fault-free.
+    fault_plan: str | None = None
+    #: Worker-side outage tolerance; None keeps the worker default.
+    reconnect_timeout: float | None = None
     log: Callable[[str], None] | None = None
     #: Filled per call; exposed for tests that kill a worker mid-run.
     procs: list = field(default_factory=list)
@@ -90,6 +110,7 @@ class DistributedSubmit:
             port=self.port,
             lease_timeout=self.lease_timeout,
             units_per_lease=self.units_per_lease,
+            max_attempts=self.max_attempts,
             on_record=on_record,
             log=self.log,
         )
@@ -101,7 +122,12 @@ class DistributedSubmit:
                 self.procs.append(
                     subprocess.Popen(
                         worker_command(
-                            host, port, f"local-{i}", self.worker_jobs
+                            host,
+                            port,
+                            f"local-{i}",
+                            self.worker_jobs,
+                            fault_plan=self.fault_plan,
+                            reconnect_timeout=self.reconnect_timeout,
                         ),
                         env=env,
                     )

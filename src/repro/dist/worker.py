@@ -1,13 +1,32 @@
-"""The socket worker: lease, execute, report, repeat.
+"""The socket worker: lease, execute, report, repeat — and survive.
 
 ``run_worker`` connects to a coordinator, executes whatever work units
 it is leased (through the same executor registry the local pool uses,
 so any machine with the library importable can serve any unit kind),
-and streams the records back.  One heartbeat goes out per completed
-unit, so a multi-unit lease stays alive as long as the worker makes
-progress; a lease held through a hang simply expires coordinator-side
-and its units are re-run elsewhere — the content-key merge absorbs the
-duplicate.
+and streams the records back.  One heartbeat round-trip happens per
+completed unit: the coordinator acknowledges with ``beat`` and
+``held=False`` means the lease expired and was reassigned, in which
+case the worker **discards its in-flight work** — the reassignment
+already owns those units, and reporting stale results would only burn
+bandwidth on duplicates the merge drops anyway.
+
+Failure handling is explicit at every layer:
+
+* a unit whose executor raises is reported in the result's ``failed``
+  list (charging its coordinator-side attempt budget) instead of
+  killing the worker — one poison unit costs one attempt, not a fleet
+  member;
+* a lost connection (coordinator crash, injected reset, garbage on the
+  wire) triggers reconnect with exponential backoff and deterministic
+  jitter, re-hello, and resumed leasing; results that were in flight
+  when the connection died are resent after the handshake and merge
+  idempotently.  ``reconnect_timeout`` bounds the total outage ridden
+  out (0 disables reconnection: any loss is immediately fatal, the
+  pre-v2 behaviour);
+* ``drain_check`` (wired to SIGTERM by the CLI) requests a graceful
+  exit: the worker stops starting units, reports what it finished,
+  leaves the rest of the lease unreported — the coordinator re-pends
+  those *without* charging their budgets — and says ``bye``.
 
 The loop is deliberately synchronous: one outstanding lease, blocking
 sends and receives.  Throughput scaling comes from running *more
@@ -16,13 +35,15 @@ workers* (and ``jobs`` inside each), not from pipelining the protocol.
 
 from __future__ import annotations
 
+import math
 import socket
 import time
 from typing import Callable
 
 from ..errors import ProtocolError, WorkerExitError
 from ..parallel.executor import SERIAL, ParallelConfig
-from ..parallel.plan import WorkUnit, run_units
+from ..parallel.plan import WorkUnit, execute_unit, run_units
+from ..rng import derive_seed
 from .protocol import (
     PROTOCOL_VERSION,
     FrameDecoder,
@@ -34,7 +55,53 @@ from .protocol import (
 #: that stops responding entirely.
 SOCKET_TIMEOUT_S = 60.0
 
+#: Ceiling on a server-supplied ``wait`` retry interval.  The value
+#: arrives over the network; a corrupted or hostile frame must not be
+#: able to park a worker for an hour (or forever, via ``inf``/``nan``).
+RETRY_MAX_S = 5.0
+
+#: Reconnect backoff: base * 2**attempt, capped, then jittered.
+BACKOFF_BASE_S = 0.1
+BACKOFF_CAP_S = 5.0
+
 _CONNECT_RETRY_S = 0.1
+
+#: Default total outage a worker rides out before giving up.
+RECONNECT_TIMEOUT_S = 30.0
+
+
+class _ConnectionLost(Exception):
+    """Internal: the coordinator connection died mid-session.  The
+    outer loop decides whether that means reconnect or fatal exit."""
+
+
+def clamp_retry_s(value: object) -> float:
+    """Validate a server-supplied ``retry_s`` (satellite of the fault
+    plane: every network-supplied number gets bounds).  Non-numeric or
+    non-finite values raise :class:`~repro.errors.ProtocolError`;
+    finite values clamp into ``[0, RETRY_MAX_S]``."""
+    try:
+        retry = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"non-numeric retry_s {value!r} in wait message"
+        ) from exc
+    if not math.isfinite(retry):
+        raise ProtocolError(
+            f"non-finite retry_s {retry!r} in wait message"
+        )
+    return min(max(retry, 0.0), RETRY_MAX_S)
+
+
+def backoff_delay(name: str, attempt: int) -> float:
+    """Reconnect pause before ``attempt`` (0-based): exponential in the
+    attempt, capped, with deterministic jitter derived from the worker
+    name — a fleet sharing one dead coordinator fans out instead of
+    thundering back in lockstep, yet every run of the same worker
+    produces the same schedule (the chaos determinism contract)."""
+    base = min(BACKOFF_CAP_S, BACKOFF_BASE_S * (2 ** attempt))
+    jitter = derive_seed(0, "worker-backoff", name, attempt) / float(2 ** 64)
+    return base * (0.5 + 0.5 * jitter)
 
 
 def _connect_retry(
@@ -58,6 +125,15 @@ def _connect_retry(
             time.sleep(_CONNECT_RETRY_S)
 
 
+class _WorkerState:
+    """What survives a reconnect: progress count and unconfirmed
+    result messages awaiting resend."""
+
+    def __init__(self) -> None:
+        self.executed = 0
+        self.resend: list[dict] = []
+
+
 def run_worker(
     host: str,
     port: int,
@@ -66,6 +142,8 @@ def run_worker(
     max_units: int | None = None,
     delay: float = 0.0,
     connect_timeout: float = 10.0,
+    reconnect_timeout: float = RECONNECT_TIMEOUT_S,
+    drain_check: Callable[[], bool] | None = None,
     log: Callable[[str], None] | None = None,
 ) -> int:
     """Serve one coordinator until it says ``done``; returns the number
@@ -78,17 +156,91 @@ def run_worker(
     * ``delay`` — sleep this long before each lease's execution, for
       simulating stragglers in tests;
     * ``connect_timeout`` — how long to keep retrying the initial
-      connect.
+      connect;
+    * ``reconnect_timeout`` — total mid-campaign outage to ride out via
+      backoff-and-reconnect before giving up (0 = fail immediately on
+      any loss);
+    * ``drain_check`` — polled between units; True requests a graceful
+      drain (finish nothing new, release the lease, say ``bye``).
 
-    A connection lost before ``done`` raises
+    A connection irrecoverably lost before ``done`` raises
     :class:`~repro.errors.WorkerExitError` — the coordinator crashed or
     fenced this worker off; either way the worker cannot know the
     campaign finished.
     """
     log = log or (lambda message: None)
     config = SERIAL if jobs <= 1 else ParallelConfig(jobs=jobs)
-    sock = _connect_retry(host, port, connect_timeout)
-    executed = 0
+    state = _WorkerState()
+    first = True
+    outage_start: float | None = None
+    attempt = 0
+    while True:
+        try:
+            if first:
+                sock = _connect_retry(host, port, connect_timeout)
+                first = False
+            else:
+                try:
+                    sock = socket.create_connection(
+                        (host, port), timeout=SOCKET_TIMEOUT_S
+                    )
+                except OSError as exc:
+                    raise _ConnectionLost(
+                        f"reconnect refused: {exc}"
+                    ) from exc
+
+            def connected() -> None:
+                nonlocal outage_start, attempt
+                if outage_start is not None:
+                    log(f"{name}: reconnected after {attempt} attempt(s)")
+                outage_start = None
+                attempt = 0
+
+            return _session(
+                sock, name, config, state, max_units, delay,
+                drain_check, connected, log,
+            )
+        except _ConnectionLost as exc:
+            if reconnect_timeout <= 0:
+                raise WorkerExitError(
+                    f"{name}: coordinator vanished mid-campaign "
+                    f"(connection closed without done): {exc}"
+                ) from exc
+            now = time.monotonic()
+            if outage_start is None:
+                outage_start = now
+            if now - outage_start >= reconnect_timeout:
+                raise WorkerExitError(
+                    f"{name}: coordinator unreachable for "
+                    f"{reconnect_timeout:g}s ({attempt} reconnect "
+                    f"attempt(s)): {exc}"
+                ) from exc
+            pause = backoff_delay(name, attempt)
+            attempt += 1
+            log(
+                f"{name}: connection lost ({exc}); reconnect attempt "
+                f"{attempt} in {pause:.2f}s"
+            )
+            time.sleep(pause)
+
+
+def _session(
+    sock: socket.socket,
+    name: str,
+    config: ParallelConfig,
+    state: _WorkerState,
+    max_units: int | None,
+    delay: float,
+    drain_check: Callable[[], bool] | None,
+    connected: Callable[[], None],
+    log: Callable[[str], None],
+) -> int:
+    """One connection's lifetime: handshake, resend, lease loop.
+
+    Raises :class:`_ConnectionLost` on any socket-level failure so the
+    caller can reconnect; raises
+    :class:`~repro.errors.WorkerExitError` on deliberate refusal.
+    """
     try:
         sock.settimeout(SOCKET_TIMEOUT_S)
         decoder = FrameDecoder()
@@ -98,7 +250,7 @@ def run_worker(
         )
         welcome = recv_message(sock, decoder)
         if welcome is None:
-            raise WorkerExitError(
+            raise _ConnectionLost(
                 "coordinator closed the connection during handshake"
             )
         if welcome["type"] == "error":
@@ -109,28 +261,51 @@ def run_worker(
             raise ProtocolError(
                 f"expected welcome, got {welcome['type']!r}"
             )
+        connected()
         log(
-            f"{name}: connected to {host}:{port} "
+            f"{name}: connected to coordinator "
             f"({welcome.get('units_total')} units in plan)"
         )
+        while state.resend:
+            # Unconfirmed results from before a reconnect: the merge is
+            # idempotent, so resending can only fill holes, never harm.
+            message = state.resend[0]
+            log(
+                f"{name}: resending result for lease "
+                f"{message.get('lease')} after reconnect"
+            )
+            send_message(sock, message)
+            state.resend.pop(0)
         while True:
-            if max_units is not None and executed >= max_units:
+            if drain_check is not None and drain_check():
                 send_message(sock, {"type": "bye"})
-                log(f"{name}: leaving after {executed} units (--max-units)")
-                return executed
+                log(
+                    f"{name}: draining on request; executed "
+                    f"{state.executed} units"
+                )
+                return state.executed
+            if max_units is not None and state.executed >= max_units:
+                send_message(sock, {"type": "bye"})
+                log(
+                    f"{name}: leaving after {state.executed} units "
+                    "(--max-units)"
+                )
+                return state.executed
             send_message(sock, {"type": "request"})
             message = recv_message(sock, decoder)
             if message is None:
-                raise WorkerExitError(
-                    f"{name}: coordinator vanished mid-campaign "
-                    f"(connection closed without done)"
+                raise _ConnectionLost(
+                    "connection closed while awaiting a lease"
                 )
             kind = message["type"]
             if kind == "done":
-                log(f"{name}: campaign complete; executed {executed} units")
-                return executed
+                log(
+                    f"{name}: campaign complete; executed "
+                    f"{state.executed} units"
+                )
+                return state.executed
             if kind == "wait":
-                time.sleep(float(message.get("retry_s", 0.5)))
+                time.sleep(clamp_retry_s(message.get("retry_s", 0.5)))
                 continue
             if kind == "error":
                 raise WorkerExitError(
@@ -138,16 +313,76 @@ def run_worker(
                 )
             if kind != "lease":
                 raise ProtocolError(f"unexpected message {kind!r}")
-            executed += _serve_lease(sock, message, config, delay, log, name)
+            state.executed += _serve_lease(
+                sock, decoder, message, config, state, delay,
+                drain_check, log, name,
+            )
+    except (WorkerExitError, _ConnectionLost):
+        raise
+    except ProtocolError as exc:
+        # Garbage on the wire (real or injected): this connection is
+        # unusable, but a fresh one may be fine.
+        raise _ConnectionLost(f"protocol failure: {exc}") from exc
+    except OSError as exc:
+        raise _ConnectionLost(str(exc)) from exc
     finally:
         sock.close()
 
 
+def _heartbeat(
+    sock: socket.socket,
+    decoder: FrameDecoder,
+    lease_id: int,
+    log: Callable[[str], None],
+    name: str,
+) -> bool:
+    """One heartbeat round-trip; False means this lease is gone (or the
+    campaign finished) and in-flight work for it must be discarded.
+
+    Fault site ``worker.heartbeat`` (kind ``drop``) loses the beat
+    entirely — the worker believes the lease is alive while the
+    coordinator watches it expire, which is exactly the split-brain the
+    ``held=False`` discard protocol exists for.
+    """
+    from ..faults.runtime import fault_at
+
+    event = fault_at("worker.heartbeat", token=lease_id)
+    if event is not None and event.kind == "drop":
+        log(f"{name}: heartbeat for lease {lease_id} dropped (injected)")
+        return True
+    send_message(sock, {"type": "heartbeat", "lease": lease_id})
+    while True:
+        reply = recv_message(sock, decoder)
+        if reply is None:
+            raise _ConnectionLost(
+                "connection closed while awaiting heartbeat ack"
+            )
+        kind = reply["type"]
+        if kind == "beat":
+            return bool(reply.get("held", True))
+        if kind == "done":
+            # The campaign finished while we computed (our units were
+            # completed elsewhere).  Queue the broadcast for the lease
+            # loop and treat the lease as gone.
+            decoder.pending.insert(0, reply)
+            return False
+        if kind == "error":
+            raise WorkerExitError(
+                f"coordinator error: {reply.get('message')}"
+            )
+        raise ProtocolError(
+            f"unexpected message {kind!r} while awaiting heartbeat ack"
+        )
+
+
 def _serve_lease(
     sock: socket.socket,
+    decoder: FrameDecoder,
     message: dict,
     config: ParallelConfig,
+    state: _WorkerState,
     delay: float,
+    drain_check: Callable[[], bool] | None,
     log: Callable[[str], None],
     name: str,
 ) -> int:
@@ -155,20 +390,141 @@ def _serve_lease(
     units = [WorkUnit.from_json(obj) for obj in message["units"]]
     if delay > 0:
         time.sleep(delay)
+    records: list = []
+    failed: list[dict] = []
+    if not config.serial and len(units) > 1:
+        pooled = _execute_pooled(
+            sock, decoder, lease_id, units, config, log, name
+        )
+        if pooled is None:
+            return 0  # lease lost mid-map; work discarded
+        records, failed = pooled
+    else:
+        for position, unit in enumerate(units):
+            if drain_check is not None and drain_check():
+                log(
+                    f"{name}: draining; releasing "
+                    f"{len(units) - position} unexecuted unit(s) of "
+                    f"lease {lease_id}"
+                )
+                break
+            try:
+                records.append(execute_unit(unit))
+            except Exception as exc:
+                failed.append(
+                    {
+                        "key": unit.key,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+                log(f"{name}: unit {unit.key!r} failed: {exc}")
+            if not _heartbeat(sock, decoder, lease_id, log, name):
+                log(
+                    f"{name}: lease {lease_id} no longer held; "
+                    f"discarding {len(records)} in-flight record(s) "
+                    f"and {len(failed)} failure report(s)"
+                )
+                return 0
+    result = {
+        "type": "result",
+        "lease": lease_id,
+        "records": [record.to_json() for record in records],
+        "failed": failed,
+    }
+    try:
+        send_message(sock, result)
+    except OSError as exc:
+        # The coordinator will re-pend this lease on EOF; stash the
+        # result so the reconnect resends it (idempotent merge).
+        state.resend.append(result)
+        raise _ConnectionLost(
+            f"connection lost sending result for lease {lease_id}: {exc}"
+        ) from exc
+    log(
+        f"{name}: lease {lease_id} done ({len(records)} records, "
+        f"{len(failed)} failed)"
+    )
+    return len(records)
+
+
+def _execute_pooled(
+    sock: socket.socket,
+    decoder: FrameDecoder,
+    lease_id: int,
+    units: list[WorkUnit],
+    config: ParallelConfig,
+    log: Callable[[str], None],
+    name: str,
+) -> tuple[list, list[dict]] | None:
+    """Execute a lease through the process pool (``jobs > 1``).
+
+    Heartbeats stream out as chunks complete; their acks are drained
+    afterwards (the socket buffers them).  A pool failure cannot name
+    the culprit unit, so the lease falls back to per-unit in-process
+    execution to attribute it.  Returns None when the lease was lost
+    (acks said ``held=False``) — the caller discards everything.
+    """
+    beats_sent = 0
 
     def beat(_index: int, _record) -> None:
-        # One heartbeat per completed unit keeps a multi-unit lease
-        # alive exactly as long as the worker is making progress.
+        nonlocal beats_sent
         send_message(sock, {"type": "heartbeat", "lease": lease_id})
+        beats_sent += 1
 
-    records = run_units(units, config, on_record=beat)
-    send_message(
-        sock,
-        {
-            "type": "result",
-            "lease": lease_id,
-            "records": [record.to_json() for record in records],
-        },
-    )
-    log(f"{name}: lease {lease_id} done ({len(units)} units)")
-    return len(units)
+    from ..errors import ResultHookError
+
+    failed: list[dict] = []
+    try:
+        records = run_units(units, config, on_record=beat)
+    except ResultHookError as exc:
+        # The beat hook is the only on_record here, so a hook failure
+        # is a send failure: the connection is gone.
+        raise _ConnectionLost(str(exc)) from exc
+    except OSError as exc:
+        raise _ConnectionLost(str(exc)) from exc
+    except Exception as exc:
+        log(
+            f"{name}: pooled lease {lease_id} failed ({exc}); "
+            "re-running per unit to attribute"
+        )
+        records = []
+        for unit in units:
+            try:
+                records.append(execute_unit(unit))
+            except Exception as unit_exc:
+                failed.append(
+                    {
+                        "key": unit.key,
+                        "error": (
+                            f"{type(unit_exc).__name__}: {unit_exc}"
+                        ),
+                    }
+                )
+    held = True
+    for _ in range(beats_sent):
+        reply = recv_message(sock, decoder)
+        if reply is None:
+            raise _ConnectionLost(
+                "connection closed while draining heartbeat acks"
+            )
+        kind = reply["type"]
+        if kind == "beat":
+            held = held and bool(reply.get("held", True))
+        elif kind == "done":
+            decoder.pending.insert(0, reply)
+            held = False
+        elif kind == "error":
+            raise WorkerExitError(
+                f"coordinator error: {reply.get('message')}"
+            )
+        else:
+            raise ProtocolError(
+                f"unexpected message {kind!r} draining heartbeat acks"
+            )
+    if not held:
+        log(
+            f"{name}: lease {lease_id} no longer held; discarding "
+            f"{len(units)} pooled unit result(s)"
+        )
+        return None
+    return records, failed

@@ -163,3 +163,47 @@ class ProtocolError(DistError):
 
 class WorkerExitError(DistError):
     """A worker lost its coordinator or was told to abort mid-session."""
+
+
+class QuarantineError(DistError):
+    """A campaign finished with units parked in quarantine.
+
+    A unit whose execution fails ``LeaseTable.max_attempts`` times —
+    explicit worker-reported failures, connection losses and lease
+    expiries all count — is *quarantined* instead of re-pended forever,
+    so one poison unit can never crash-loop a worker fleet.  The
+    coordinator finishes every healthy unit, then raises this error
+    instead of returning a silently incomplete merge: ``quarantined``
+    maps each parked unit's content key to the reason it was parked,
+    and ``records`` carries every record that *did* merge (unit order)
+    so callers can salvage the healthy part of the campaign.
+    """
+
+    def __init__(self, quarantined: dict, records: list | None = None):
+        self.quarantined = dict(quarantined)
+        self.records = list(records or [])
+        first = next(iter(self.quarantined), "?")
+        super().__init__(
+            f"{len(self.quarantined)} work unit(s) quarantined after "
+            f"exhausting their attempt budgets (first: {first!r}); "
+            f"{len(self.records)} healthy records merged"
+        )
+
+
+class FaultInjected(ReproError):
+    """An error deliberately raised by the fault-injection plane.
+
+    Only ever raised while a :class:`~repro.faults.FaultPlan` is
+    installed (chaos runs and tests); production code paths never see
+    it.  Carrying the site and draw token makes chaos traces
+    self-describing.
+    """
+
+    def __init__(self, site: str, token: object, kind: str = "raise"):
+        self.site = site
+        self.token = token
+        self.kind = kind
+        super().__init__(
+            f"injected fault at site {site!r} (token {token!r}, "
+            f"kind {kind!r})"
+        )

@@ -1,0 +1,53 @@
+"""Deterministic fault injection for chaos-testing the pipeline.
+
+``repro.faults`` turns failure handling from an incidental property
+into a declared, tested contract: a :class:`FaultPlan` (JSON, seeded)
+names injection sites threaded through the distributed layer, the run
+ledger and work-unit execution; every firing is a deterministic
+function of the plan seed and a site-keyed draw, so a chaos run — and
+its injection trace — is bit-reproducible.  The chaos harness
+(:func:`repro.faults.chaos.run_chaos`, CLI ``gpu-wmm chaos``) runs any
+distributable experiment under a plan and proves the hardened pipeline
+still renders output byte-identical to a fault-free serial run.
+
+See ``docs/ARCHITECTURE.md`` ("Failure model") for the fault taxonomy
+and the invariants each site's hardening maintains.
+"""
+
+from .chaos import ChaosReport, ChaosSubmit, run_chaos
+from .plan import (
+    ROLES,
+    SITES,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from .runtime import (
+    PLAN_ENV,
+    ROLE_ENV,
+    active_injector,
+    fault_at,
+    install,
+    suppress_faults,
+    uninstall,
+)
+
+__all__ = [
+    "ChaosReport",
+    "ChaosSubmit",
+    "run_chaos",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "PLAN_ENV",
+    "ROLE_ENV",
+    "ROLES",
+    "SITES",
+    "active_injector",
+    "fault_at",
+    "install",
+    "suppress_faults",
+    "uninstall",
+]

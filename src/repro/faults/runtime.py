@@ -1,0 +1,99 @@
+"""Process-global fault-injection runtime.
+
+The hot paths (socket frames, unit execution, ledger appends) query
+:func:`fault_at` on every operation.  With no plan installed that is a
+single ``None`` check — production runs pay nothing.  A plan reaches a
+process one of two ways:
+
+* :func:`install` — explicit, in-process (the chaos runner, tests);
+* the ``REPRO_FAULT_PLAN`` environment variable — a path to a plan
+  JSON, picked up lazily on the first :func:`fault_at` call.  This is
+  how spawned worker subprocesses *and their pool children* inherit
+  the plan without any plumbing: the worker CLI exports the variable
+  and every descendant loads it on first use.  ``REPRO_FAULT_ROLE``
+  selects the role (default ``worker`` for env-installed plans, since
+  only worker-side processes are ever started with the variable set).
+
+:func:`suppress_faults` temporarily disables injection in the current
+process — the chaos runner uses it to re-execute quarantined units
+cleanly, proving the unit itself was healthy and only the injected
+fault poisoned it.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable
+
+from .plan import FaultEvent, FaultInjector, FaultPlan
+
+#: Environment variable naming a fault-plan JSON file to auto-install.
+PLAN_ENV = "REPRO_FAULT_PLAN"
+#: Environment variable naming the role for env-installed plans.
+ROLE_ENV = "REPRO_FAULT_ROLE"
+
+_ACTIVE: FaultInjector | None = None
+_ENV_CHECKED = False
+_SUPPRESS_DEPTH = 0
+
+
+def install(
+    plan: FaultPlan,
+    role: str = "any",
+    log: Callable[[str], None] | None = None,
+) -> FaultInjector:
+    """Install ``plan`` as this process's active injector (replacing
+    any previous one) and return the injector for trace inspection."""
+    global _ACTIVE, _ENV_CHECKED
+    _ACTIVE = FaultInjector(plan, role=role, log=log)
+    _ENV_CHECKED = True
+    return _ACTIVE
+
+
+def uninstall() -> None:
+    """Remove the active injector (and forget the env check, so a test
+    that sets ``REPRO_FAULT_PLAN`` afterwards is honoured)."""
+    global _ACTIVE, _ENV_CHECKED
+    _ACTIVE = None
+    _ENV_CHECKED = False
+
+
+def active_injector() -> FaultInjector | None:
+    """The installed injector, auto-installing from the environment on
+    first call (see module docstring).  None when faults are off."""
+    global _ACTIVE, _ENV_CHECKED
+    if _ACTIVE is None and not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        path = os.environ.get(PLAN_ENV)
+        if path:
+            _ACTIVE = FaultInjector(
+                FaultPlan.load(path),
+                role=os.environ.get(ROLE_ENV, "worker"),
+            )
+    return _ACTIVE
+
+
+def fault_at(site: str, token: object = None) -> FaultEvent | None:
+    """Evaluate ``site`` against the active plan (None = no fault).
+
+    This is the one call threaded through the hot paths; it returns
+    immediately when no plan is installed or injection is suppressed.
+    """
+    if _SUPPRESS_DEPTH:
+        return None
+    injector = _ACTIVE if _ENV_CHECKED else active_injector()
+    if injector is None:
+        return None
+    return injector.fault_at(site, token)
+
+
+@contextmanager
+def suppress_faults():
+    """Disable injection within the block (re-entrant)."""
+    global _SUPPRESS_DEPTH
+    _SUPPRESS_DEPTH += 1
+    try:
+        yield
+    finally:
+        _SUPPRESS_DEPTH -= 1

@@ -90,7 +90,30 @@ def execute_unit(unit: WorkUnit):
     :func:`register_executor`.  This is what lets a fresh worker
     process — local pool child or remote machine — execute any unit it
     is handed with no setup beyond having the library importable.
+
+    Fault site ``unit.execute`` (token: the unit's content key, so a
+    poison unit fails identically on *every* process that tries it):
+    ``raise`` throws :class:`~repro.errors.FaultInjected`, ``hang``
+    sleeps ``hang_s`` before executing (long enough to expire a
+    lease), ``exit`` kills the process without cleanup (the worker
+    crash path).
     """
+    from ..faults.runtime import fault_at
+
+    event = fault_at("unit.execute", token=unit.key)
+    if event is not None:
+        if event.kind == "exit":
+            import os
+
+            os._exit(int(event.param("exit_code", 41)))
+        if event.kind == "hang":
+            import time
+
+            time.sleep(float(event.param("hang_s", 60.0)))
+        else:
+            from ..errors import FaultInjected
+
+            raise FaultInjected("unit.execute", unit.key, event.kind)
     fn = _EXECUTORS.get(unit.kind)
     if fn is None:
         module = _EXECUTOR_MODULES.get(unit.kind)

@@ -15,7 +15,14 @@ resume semantics, and ``gpu-wmm experiment ... --out/--resume`` for the
 CLI surface.
 """
 
-from .ledger import LEDGER_FORMAT, LedgerWriter, RunLedger
+from .ledger import (
+    LEDGER_FORMAT,
+    QUARANTINE_DIR,
+    LedgerWriter,
+    RunLedger,
+    salvage_ledger,
+    verify_ledger,
+)
 from .records import (
     RECORD_KINDS,
     RunRecord,
@@ -42,8 +49,11 @@ from .resume import (
 
 __all__ = [
     "LEDGER_FORMAT",
+    "QUARANTINE_DIR",
     "RunLedger",
     "LedgerWriter",
+    "verify_ledger",
+    "salvage_ledger",
     "RunRecord",
     "RECORD_KINDS",
     "content_key",

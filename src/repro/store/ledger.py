@@ -21,6 +21,18 @@ Durability model (single writer at a time):
   than silently losing data.
 * The manifest is written via the same write-temp-then-rename dance.
 
+Damage beyond the tolerated truncated tail is never silently dropped,
+but it need not be fatal either: ``RunLedger.open(root, salvage=True)``
+loads every intact record *around* corrupt lines and reports each
+problem (``salvage_report``), :func:`verify_ledger` scans read-only,
+and :func:`salvage_ledger` repairs in place — corrupt segments move to
+a ``quarantine/`` subdirectory and their recoverable records re-append
+into a fresh segment, so a resumed campaign re-runs only the records
+that were actually destroyed.  Both ledger write paths are fault
+injection sites (``ledger.checkpoint``, ``ledger.append`` — see
+:mod:`repro.faults`) so this machinery is exercised by chaos runs, not
+just unit tests.
+
 Records are keyed by their deterministic content key (see
 :mod:`repro.store.records`).  Content keys capture everything that
 determines a result, so duplicate keys with *identical* payloads merge
@@ -37,17 +49,23 @@ import json
 import os
 from collections.abc import Iterable
 from pathlib import Path
-from typing import Iterator
+from typing import Callable, Iterator
 
 from ..errors import LedgerConflictError, LedgerCorruptError, LedgerError
+from ..faults.runtime import fault_at
 from .records import RunRecord
 
 #: On-disk format version, recorded in the manifest.
 LEDGER_FORMAT = 1
 
 MANIFEST_NAME = "manifest.json"
+QUARANTINE_DIR = "quarantine"
 _SEGMENT_PREFIX = "seg-"
 _SEGMENT_SUFFIX = ".jsonl"
+
+#: What the ``corrupt`` fault kinds write: bytes no JSON parser accepts,
+#: so injected damage is always *detected* damage.
+_CORRUPT_LINE = "\x00injected-corruption\x00\n"
 
 
 def _fsync_dir(path: Path) -> None:
@@ -96,7 +114,25 @@ class LedgerWriter:
         # on disk, so a conflicting record never becomes durable.
         if self._ledger._is_duplicate(record):
             return
-        self._handle.write(json.dumps(record.to_json()) + "\n")
+        line = json.dumps(record.to_json()) + "\n"
+        event = fault_at("ledger.checkpoint", token=record.key)
+        if event is not None:
+            if event.kind == "fsync-error":
+                raise LedgerError(
+                    f"injected fsync failure checkpointing {record.key!r}"
+                )
+            if event.kind == "truncate":
+                # Half a line, no newline: the kill-mid-write shape.
+                line = line[: max(1, len(line) // 2)]
+            else:  # corrupt
+                line = _CORRUPT_LINE
+            self._handle.write(line)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._written += 1
+            # The record is NOT absorbed: it never became durable.
+            return
+        self._handle.write(line)
         self._handle.flush()
         os.fsync(self._handle.fileno())
         self._written += 1
@@ -123,17 +159,43 @@ class LedgerWriter:
 class RunLedger:
     """Query and append interface over one ledger directory."""
 
-    def __init__(self, root: Path | str, manifest: dict):
+    def __init__(
+        self, root: Path | str, manifest: dict, salvage: bool = False
+    ):
         self.root = Path(root)
         self.manifest = manifest
         self._records: dict[str, RunRecord] = {}
+        #: Problems tolerated during a salvage-mode load, as
+        #: ``{"segment", "line", "error"}`` dicts (empty when clean or
+        #: when loading strictly).
+        self.salvage_report: list[dict] = []
+
+        def note(path: Path, lineno: int, error: str) -> None:
+            self.salvage_report.append(
+                {"segment": path.name, "line": lineno, "error": error}
+            )
+
         for path in self._segment_paths():
-            for record in _read_segment(path):
-                # Re-reading an identical duplicate (overlapping
-                # checkpoints) is fine; disagreement under one content
-                # key is corruption and refuses to load.
-                if not self._is_duplicate(record):
-                    self._absorb(record)
+            try:
+                for record in _read_segment(
+                    path, on_corrupt=note if salvage else None
+                ):
+                    # Re-reading an identical duplicate (overlapping
+                    # checkpoints) is fine; disagreement under one
+                    # content key is corruption and refuses to load
+                    # (salvage mode keeps the first payload seen and
+                    # reports the disagreement).
+                    try:
+                        if not self._is_duplicate(record):
+                            self._absorb(record)
+                    except LedgerConflictError as exc:
+                        if not salvage:
+                            raise
+                        note(path, 0, str(exc))
+            except LedgerCorruptError as exc:
+                if not salvage:
+                    raise
+                note(path, 0, str(exc))
 
     # -- construction --------------------------------------------------
     @classmethod
@@ -150,8 +212,15 @@ class RunLedger:
         return cls(root, manifest)
 
     @classmethod
-    def open(cls, root: Path | str) -> "RunLedger":
-        """Open an existing ledger; :class:`LedgerError` when absent."""
+    def open(cls, root: Path | str, salvage: bool = False) -> "RunLedger":
+        """Open an existing ledger; :class:`LedgerError` when absent.
+
+        ``salvage=True`` tolerates segment damage: intact records load,
+        corrupt lines / unreadable segments / conflicting duplicates
+        are skipped and reported on ``salvage_report`` instead of
+        raising.  The manifest must still be readable — a ledger whose
+        *identity* is gone is not salvageable by this path.
+        """
         root = Path(root)
         manifest_path = root / MANIFEST_NAME
         if not manifest_path.exists():
@@ -174,7 +243,7 @@ class RunLedger:
                 f"ledger at {root} uses format {manifest['format']}; "
                 f"this library reads format {LEDGER_FORMAT}"
             )
-        return cls(root, manifest)
+        return cls(root, manifest, salvage=salvage)
 
     @classmethod
     def open_or_create(
@@ -234,10 +303,26 @@ class RunLedger:
         if not records:
             return
         path = self._next_segment_path()
+        lines = [json.dumps(r.to_json()) + "\n" for r in records]
+        data = "".join(lines)
+        event = fault_at("ledger.append", token=path.name)
+        if event is not None:
+            if event.kind == "fsync-error":
+                raise LedgerError(
+                    f"injected fsync failure appending segment {path.name}"
+                )
+            if event.kind == "truncate":
+                data = data[: max(1, len(data) // 2)]
+            else:  # corrupt: garbage mid-segment, always detectable
+                mid = len(lines) // 2
+                data = (
+                    "".join(lines[:mid])
+                    + _CORRUPT_LINE
+                    + "".join(lines[mid:])
+                )
         tmp = path.with_name(path.name + ".tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
-            for record in records:
-                handle.write(json.dumps(record.to_json()) + "\n")
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
@@ -305,8 +390,17 @@ class RunLedger:
         )
 
 
-def _read_segment(path: Path) -> Iterator[RunRecord]:
-    """Parse one segment, tolerating only a truncated final line."""
+def _read_segment(
+    path: Path,
+    on_corrupt: Callable[[Path, int, str], None] | None = None,
+) -> Iterator[RunRecord]:
+    """Parse one segment, tolerating only a truncated final line.
+
+    With ``on_corrupt`` (salvage mode), mid-file damage is reported to
+    the callback and the scan continues, yielding every line that still
+    parses; without it any non-tail damage raises
+    :class:`~repro.errors.LedgerCorruptError`.
+    """
     try:
         text = path.read_text(encoding="utf-8")
     except OSError as exc:
@@ -325,7 +419,110 @@ def _read_segment(path: Path) -> Iterator[RunRecord]:
             if lineno == len(lines) and not text.endswith("\n"):
                 # Truncated tail from a killed writer: drop it.
                 return
+            if on_corrupt is not None:
+                on_corrupt(path, lineno, str(exc))
+                continue
             raise LedgerCorruptError(
                 f"corrupt record at {path}:{lineno}: {exc}"
             ) from exc
         yield record
+
+
+def verify_ledger(root: Path | str) -> list[dict]:
+    """Read-only integrity scan: every problem a salvage-mode load
+    would tolerate, as ``{"segment", "line", "error"}`` dicts (empty
+    for a clean ledger).  Nothing on disk is touched."""
+    return RunLedger.open(root, salvage=True).salvage_report
+
+
+def salvage_ledger(
+    root: Path | str,
+    log: Callable[[str], None] | None = None,
+) -> dict:
+    """Repair a damaged ledger in place.
+
+    Every segment with a problem moves to ``root/quarantine/`` (kept,
+    never deleted — the damage may be evidence) and its recoverable
+    records re-append into a fresh segment.  Records conflicting with
+    the healthy remainder (or with each other) are dropped and
+    reported, never merged.  Returns a summary::
+
+        {"problems": [...],              # what verify found
+         "quarantined_segments": [...],  # segment names moved
+         "recovered": N,                 # records re-appended
+         "dropped": [{"key", "error"}]}  # unrecoverable conflicts
+    """
+    root = Path(root)
+    log = log or (lambda message: None)
+    damaged = RunLedger.open(root, salvage=True)
+    problems = damaged.salvage_report
+    bad_names = sorted({problem["segment"] for problem in problems})
+    if not bad_names:
+        log(f"ledger at {root} is clean; nothing to salvage")
+        return {
+            "problems": [],
+            "quarantined_segments": [],
+            "recovered": 0,
+            "dropped": [],
+        }
+    quarantine = root / QUARANTINE_DIR
+    quarantine.mkdir(exist_ok=True)
+    recovered: list[RunRecord] = []
+    for name in bad_names:
+        path = root / name
+        good: list[RunRecord] = []
+        try:
+            good.extend(
+                _read_segment(path, on_corrupt=lambda *args: None)
+            )
+        except LedgerCorruptError:
+            pass  # unreadable file: nothing recoverable inside
+        os.replace(path, quarantine / name)
+        recovered.extend(good)
+        log(
+            f"quarantined segment {name} "
+            f"({len(good)} recoverable record(s))"
+        )
+    _fsync_dir(root)
+    # Strict re-open over the healthy remainder, then fold the
+    # recovered records back in; first payload seen under a key wins,
+    # disagreement is dropped and reported.
+    clean = RunLedger.open(root)
+    fresh: dict[str, RunRecord] = {}
+    dropped: list[dict] = []
+    for record in recovered:
+        try:
+            if clean._is_duplicate(record):
+                continue
+        except LedgerConflictError as exc:
+            dropped.append({"key": record.key, "error": str(exc)})
+            continue
+        prior = fresh.get(record.key)
+        if prior is not None:
+            if (
+                prior.kind == record.kind
+                and prior.payload == record.payload
+            ):
+                continue
+            dropped.append(
+                {
+                    "key": record.key,
+                    "error": (
+                        "recovered records disagree under this key"
+                    ),
+                }
+            )
+            continue
+        fresh[record.key] = record
+    if fresh:
+        clean.append(*fresh.values())
+    log(
+        f"salvage complete: {len(bad_names)} segment(s) quarantined, "
+        f"{len(fresh)} record(s) recovered, {len(dropped)} dropped"
+    )
+    return {
+        "problems": problems,
+        "quarantined_segments": bad_names,
+        "recovered": len(fresh),
+        "dropped": dropped,
+    }

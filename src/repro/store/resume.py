@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from ..errors import ResultHookError
+from ..errors import ReproError, ResultHookError
 from ..parallel import (
     ParallelConfig,
     WorkUnit,
@@ -89,9 +89,34 @@ def submit_units(
                 fresh = submit(pending, config, on_record)
         else:
             fresh = submit(pending, config, None)
+        _validate_backend_return(pending, fresh)
         for j, record in zip(pending_indices, fresh):
             results[j] = record
     return results
+
+
+def _validate_backend_return(
+    pending: Sequence[WorkUnit], fresh: Sequence
+) -> None:
+    """A submit backend promises one record per unit, in unit order,
+    under the unit's content key.  A backend that silently drops or
+    reorders would otherwise surface much later as misattributed
+    results; fail here, at the contract boundary, with a typed error."""
+    if len(fresh) != len(pending):
+        raise ReproError(
+            f"submit backend returned {len(fresh)} records for "
+            f"{len(pending)} pending units; a backend must return one "
+            "record per unit (quarantined units must be repaired or "
+            "raised, never silently omitted)"
+        )
+    for unit, record in zip(pending, fresh):
+        if record is None or record.key != unit.key:
+            got = None if record is None else record.key
+            raise ReproError(
+                f"submit backend returned record key {got!r} for unit "
+                f"{unit.key!r}; records must come back in unit order "
+                "under matching content keys"
+            )
 
 
 def litmus_grid_counts(

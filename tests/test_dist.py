@@ -445,7 +445,9 @@ class TestCoordinatorWorker:
         thread.start()
         try:
             with pytest.raises(WorkerExitError):
-                run_worker(host, port, connect_timeout=5)
+                # reconnect_timeout=0 opts out of ride-it-out backoff so a
+                # vanished coordinator is immediately fatal, as before v2.
+                run_worker(host, port, connect_timeout=5, reconnect_timeout=0)
         finally:
             thread.join(timeout=10)
             listener.close()
@@ -471,6 +473,14 @@ class TestDistributedSubmit:
         assert "--connect" in argv
         assert argv[argv.index("--connect") + 1] == "10.0.0.5:7077"
         assert argv[argv.index("--jobs") + 1] == "2"
+        assert "--faults" not in argv
+        assert "--reconnect-timeout" not in argv
+        armed = worker_command(
+            "10.0.0.5", 7077, "w3", fault_plan="/tmp/plan.json",
+            reconnect_timeout=7.5,
+        )
+        assert armed[armed.index("--faults") + 1] == "/tmp/plan.json"
+        assert armed[armed.index("--reconnect-timeout") + 1] == "7.5"
 
     def test_distributed_campaign_matches_serial(self, k20):
         # The tentpole acceptance shape, in-process: the same campaign
@@ -494,7 +504,7 @@ class TestDistributedSubmit:
         monkeypatch.setattr(
             submit_module,
             "worker_command",
-            lambda host, port, name, jobs=1: [
+            lambda host, port, name, jobs=1, **kwargs: [
                 sys.executable, "-c", "import sys; sys.exit(3)"
             ],
         )
