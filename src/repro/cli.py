@@ -35,6 +35,7 @@ import sys
 from .apps.registry import APP_ORDER, get_application
 from .apps.registry import all_applications
 from .chips.registry import CHIP_ORDER, all_chips, get_chip
+from .dist.leases import DEFAULT_TARGET_LEASE_S
 from .errors import ReproError
 from .hardening.insertion import empirical_fence_insertion
 from .litmus import BACKENDS
@@ -86,6 +87,36 @@ def _jobs_arg(value: str) -> int:
             "jobs must be >= 0 (0 = one per CPU)"
         )
     return n
+
+
+def _lease_units_arg(value: str) -> int:
+    """argparse type for ``--units-per-lease``: a positive batch size."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {value!r}"
+        ) from None
+    if n < 1:
+        raise argparse.ArgumentTypeError("units per lease must be >= 1")
+    return n
+
+
+def _lease_target_arg(value: str) -> float:
+    """argparse type for ``--lease-target-seconds``: finite, positive."""
+    import math
+
+    try:
+        x = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid float value: {value!r}"
+        ) from None
+    if not math.isfinite(x) or x <= 0:
+        raise argparse.ArgumentTypeError(
+            "lease target must be a finite number of seconds > 0"
+        )
+    return x
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -191,6 +222,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             out=args.out,
             resume=args.resume,
             dist=args.dist,
+            units_per_lease=args.units_per_lease,
+            lease_target_s=args.lease_target_s,
             **kwargs,
         )
     except (ReproError, ValueError) as exc:
@@ -231,7 +264,8 @@ def _cmd_coordinate(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         lease_timeout=args.lease_timeout,
-        units_per_lease=args.lease_units,
+        units_per_lease=args.units_per_lease,
+        lease_target_s=args.lease_target_s,
         worker_jobs=args.worker_jobs,
         log=_stderr_log,
     )
@@ -494,6 +528,11 @@ def _epilog() -> str:
             "  0.0.0.0 --port 7077' and join workers from any machine",
             "  with 'gpu-wmm worker --connect host:7077'.  Results are",
             "  byte-identical to a serial run at any worker count.",
+            "  Leases are sized adaptively (per-worker service-time",
+            "  EWMA, targeting --lease-target-seconds of compute each);",
+            "  --units-per-lease N pins a fixed batch size instead.",
+            "  Workers pipeline lease requests and frames compress",
+            "  automatically (both negotiated; v2 workers still work).",
             "",
             "persistent run ledger:",
             "  pass --out DIR to checkpoint completed results into an",
@@ -587,6 +626,33 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
 
+    def _add_lease_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--units-per-lease",
+            "--lease-units",
+            dest="units_per_lease",
+            type=_lease_units_arg,
+            default=None,
+            metavar="N",
+            help=(
+                "fix the work units granted per lease (default: adaptive "
+                "— the coordinator sizes each worker's leases from its "
+                "measured per-unit service time)"
+            ),
+        )
+        p.add_argument(
+            "--lease-target-seconds",
+            dest="lease_target_s",
+            type=_lease_target_arg,
+            default=DEFAULT_TARGET_LEASE_S,
+            metavar="S",
+            help=(
+                "compute duration one adaptive lease targets (default: "
+                f"{DEFAULT_TARGET_LEASE_S}; ignored with a fixed "
+                "--units-per-lease)"
+            ),
+        )
+
     p = sub.add_parser(
         "experiment",
         help="regenerate a paper artefact (table1..table6, fig3..fig5)",
@@ -609,6 +675,7 @@ def build_parser() -> argparse.ArgumentParser:
             "are byte-identical to a local run)"
         ),
     )
+    _add_lease_args(p)
     _add_common(p)
     p.set_defaults(fn=_cmd_experiment)
 
@@ -659,13 +726,7 @@ def build_parser() -> argparse.ArgumentParser:
             "are reassigned (default: 60)"
         ),
     )
-    p.add_argument(
-        "--lease-units",
-        type=int,
-        default=1,
-        metavar="N",
-        help="work units granted per lease (default: 1)",
-    )
+    _add_lease_args(p)
     p.add_argument(
         "--worker-jobs",
         type=_jobs_arg,

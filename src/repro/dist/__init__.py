@@ -4,34 +4,65 @@ The distributed layer moves :class:`~repro.parallel.plan.WorkUnit`
 plans across machines without moving any correctness responsibility:
 results are keyed and seeded identically wherever they run, so the
 coordinator's content-key merge is provably byte-identical to a
-single-machine run.  See ``docs/ARCHITECTURE.md`` ("Distributed
-campaigns") for the frame format, the lease lifecycle, and the merge
-invariants.
+single-machine run.  Protocol v3 adds lease pipelining, adaptive lease
+sizing, incremental result streaming and frame compression — all
+negotiated per connection, with v2 peers served unchanged.  See
+``docs/ARCHITECTURE.md`` ("Distributed campaigns") for the frame
+format, the lease lifecycle, and the merge invariants.
 """
 
-from .coordinator import Coordinator
-from .leases import MAX_ATTEMPTS, Lease, LeaseTable, Settlement
+from .coordinator import (
+    WAIT_RETRY_MAX_S,
+    WAIT_RETRY_MIN_S,
+    Coordinator,
+)
+from .leases import (
+    DEFAULT_TARGET_LEASE_S,
+    MAX_ATTEMPTS,
+    MAX_LEASE_UNITS,
+    Lease,
+    LeaseTable,
+    Settlement,
+)
 from .protocol import (
+    COMPRESS_FLAG,
+    COMPRESS_MIN,
     MAX_FRAME,
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     FrameDecoder,
+    WireStats,
     encode_frame,
     recv_message,
     send_message,
 )
 from .submit import DistributedSubmit, worker_command
-from .worker import backoff_delay, clamp_retry_s, run_worker
+from .worker import (
+    WorkerStats,
+    backoff_delay,
+    clamp_retry_s,
+    run_worker,
+)
 
 __all__ = [
+    "COMPRESS_FLAG",
+    "COMPRESS_MIN",
     "Coordinator",
+    "DEFAULT_TARGET_LEASE_S",
     "DistributedSubmit",
     "FrameDecoder",
     "Lease",
     "LeaseTable",
     "MAX_ATTEMPTS",
     "MAX_FRAME",
+    "MAX_LEASE_UNITS",
+    "MIN_PROTOCOL_VERSION",
     "PROTOCOL_VERSION",
     "Settlement",
+    "WAIT_RETRY_MAX_S",
+    "WAIT_RETRY_MIN_S",
+    "WireStats",
+    "WorkerStats",
     "backoff_delay",
     "clamp_retry_s",
     "encode_frame",

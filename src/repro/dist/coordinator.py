@@ -16,6 +16,12 @@ it and :meth:`Coordinator.serve` raises
 and every healthy record, so one poison unit can neither crash-loop
 the fleet nor silently punch a hole in the merge.
 
+Protocol v3 peers negotiate pipelining, frame compression, incremental
+``result-part`` streaming and adaptive lease sizing in the handshake;
+v2 peers are served exactly as before (one blocking lease at a time,
+raw frames, one result at lease end).  The two generations can share a
+campaign: the merge only ever sees keyed records.
+
 The merge is by content key and idempotent: a reassigned lease coming
 back twice folds to one record when payloads agree and raises
 :class:`~repro.errors.LedgerConflictError` when they disagree (which,
@@ -30,7 +36,9 @@ Fault site ``coordinator.merge`` (kind ``restart``) simulates a
 coordinator crash immediately after a result merges: every client is
 dropped, the listener rebinds on the same port, and the lease table is
 rebuilt from merged records exactly as a real restart resumes from the
-run ledger.  Workers ride it out via reconnect-with-backoff.
+run ledger.  Workers ride it out via reconnect-with-backoff.  Records
+that arrived in ``result-part`` frames before the crash survive it,
+exactly as ledger-checkpointed records would.
 """
 
 from __future__ import annotations
@@ -49,37 +57,65 @@ from ..errors import (
 from ..faults.runtime import fault_at
 from ..parallel.plan import WorkUnit
 from ..store.records import RunRecord
-from .leases import MAX_ATTEMPTS, LeaseTable
-from .protocol import PROTOCOL_VERSION, FrameDecoder, send_message
+from .leases import DEFAULT_TARGET_LEASE_S, MAX_ATTEMPTS, LeaseTable
+from .protocol import (
+    MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    WireStats,
+    send_message,
+)
 
-#: How long an idle worker is told to wait before re-requesting work.
+#: Idle-worker retry when no lease deadline bounds the wait (cannot
+#: happen while work is outstanding, kept as a defensive fallback).
 WAIT_RETRY_S = 0.5
+
+#: Bounds on the adaptive ``wait`` retry: never tell a worker to come
+#: back sooner than the floor (hammering an empty queue) or later than
+#: the ceiling (sleeping past a re-pend it could have picked up).
+WAIT_RETRY_MIN_S = 0.05
+WAIT_RETRY_MAX_S = 2.0
 
 #: Ceiling on one select() sleep, so expiry and stop checks stay timely.
 _POLL_CAP_S = 1.0
 
 
 class _Client:
-    """Per-connection state: decoder buffer plus the worker identity."""
+    """Per-connection state: decoder buffer plus the worker identity
+    and what the handshake negotiated for this connection."""
 
-    def __init__(self, sock: socket.socket, ident: str):
+    def __init__(
+        self,
+        sock: socket.socket,
+        ident: str,
+        stats: WireStats | None = None,
+    ):
         self.sock = sock
-        self.decoder = FrameDecoder()
+        self.decoder = FrameDecoder(stats=stats)
         #: Unique per-connection identity (two workers may share a
         #: ``--name``; leases must not).
         self.ident = ident
         self.helloed = False
+        #: Negotiated protocol version (set at ``hello``; v3 gates
+        #: ``result-part``/``release`` handling).
+        self.protocol = MIN_PROTOCOL_VERSION
+        #: Whether frames *to* this worker may be compressed.
+        self.compress = False
+        #: Units this connection has completed (progress UI).
+        self.units_done = 0
 
 
 class Coordinator:
     """Serve one work plan to any number of socket workers.
 
     Parameters mirror the lease model: ``lease_timeout`` is how long a
-    silent worker holds its units, ``units_per_lease`` trades dispatch
-    round-trips against reassignment granularity, ``max_attempts`` is
-    the per-unit failure budget before quarantine.  ``on_record(index,
-    record)`` streams each *fresh* merged record back in completion
-    order — the same checkpointing hook the local pool backend uses, so
+    silent worker holds its units, ``units_per_lease`` fixes the batch
+    size (None, the default, enables the adaptive controller targeting
+    ``lease_target_s`` of compute per lease), ``max_attempts`` is the
+    per-unit failure budget before quarantine, ``compress`` offers
+    frame compression to v3 workers.  ``on_record(index, record)``
+    streams each *fresh* merged record back in completion order — the
+    same checkpointing hook the local pool backend uses, so
     :func:`~repro.store.resume.submit_units` works unchanged on top.
 
     ``stop_check`` (also assignable after construction) is polled every
@@ -94,8 +130,10 @@ class Coordinator:
         host: str = "127.0.0.1",
         port: int = 0,
         lease_timeout: float = 60.0,
-        units_per_lease: int = 1,
+        units_per_lease: int | None = None,
         max_attempts: int = MAX_ATTEMPTS,
+        lease_target_s: float = DEFAULT_TARGET_LEASE_S,
+        compress: bool = True,
         on_record: Callable[[int, RunRecord], None] | None = None,
         stop_check: Callable[[], str | None] | None = None,
         log: Callable[[str], None] | None = None,
@@ -106,9 +144,13 @@ class Coordinator:
         self.lease_timeout = lease_timeout
         self.units_per_lease = units_per_lease
         self.max_attempts = max_attempts
+        self.lease_target_s = lease_target_s
+        self.compress = compress
         self.on_record = on_record
         self.stop_check = stop_check
         self.log = log or (lambda message: None)
+        #: Raw-vs-wire byte accounting across every connection.
+        self.wire = WireStats()
         self._table = self._fresh_table()
         self._key_to_index = {
             unit.key: i for i, unit in enumerate(self.units)
@@ -119,9 +161,12 @@ class Coordinator:
                 "be uniquely keyed for the merge to be exact"
             )
         self._records: dict[int, RunRecord] = {}
+        #: lease id -> indices already merged via ``result-part``.
+        self._partial: dict[int, set[int]] = {}
         self._listener: socket.socket | None = None
         self._conn_count = 0
         self._restart_requested = False
+        self._started: float | None = None
 
     def _fresh_table(self) -> LeaseTable:
         return LeaseTable(
@@ -129,6 +174,7 @@ class Coordinator:
             timeout=self.lease_timeout,
             units_per_lease=self.units_per_lease,
             max_attempts=self.max_attempts,
+            target_lease_s=self.lease_target_s,
         )
 
     # -- lifecycle ------------------------------------------------------
@@ -163,6 +209,8 @@ class Coordinator:
         selector = selectors.DefaultSelector()
         selector.register(self._listener, selectors.EVENT_READ, None)
         clients: dict[socket.socket, _Client] = {}
+        if self._started is None:
+            self._started = self._table.now()
         self.log(
             f"coordinator serving {len(self.units)} units "
             f"on {self.host}:{self.port}"
@@ -187,12 +235,14 @@ class Coordinator:
                         f"lease {lease.lease_id} ({lease.worker}) "
                         f"expired; re-pending units {list(lease.indices)}"
                     )
+                    self._partial.pop(lease.lease_id, None)
                     self._note_quarantines(lease.indices)
             for client in clients.values():
                 try:
-                    send_message(client.sock, {"type": "done"})
+                    self._send(client, {"type": "done"})
                 except OSError:  # pragma: no cover - racing disconnect
                     pass
+            self.log(f"wire totals: {self.wire.summary()}")
         finally:
             for sock in list(clients):
                 sock.close()
@@ -210,7 +260,8 @@ class Coordinator:
         connection, rebind the same port, and rebuild lease state from
         merged records — exactly what a real restart recovers from the
         run ledger.  In-flight leases and attempt counts are lost, as
-        they would be."""
+        they would be; records that already merged (including via
+        ``result-part``) survive."""
         self._restart_requested = False
         self.log(
             f"injected coordinator restart: dropping {len(clients)} "
@@ -227,6 +278,7 @@ class Coordinator:
         self.bind()  # self.port is already resolved: same address
         selector.register(self._listener, selectors.EVENT_READ, None)
         self._table = self._fresh_table()
+        self._partial.clear()
         merged = set(self._records)
         self._table.pending = deque(
             i for i in range(len(self.units)) if i not in merged
@@ -240,6 +292,14 @@ class Coordinator:
             return _POLL_CAP_S
         return min(_POLL_CAP_S, max(0.0, deadline - self._table.now()))
 
+    def _send(self, client: _Client, message: dict) -> None:
+        send_message(
+            client.sock,
+            message,
+            compress=client.compress,
+            stats=self.wire,
+        )
+
     def _accept(
         self,
         selector: selectors.BaseSelector,
@@ -248,7 +308,9 @@ class Coordinator:
         assert self._listener is not None
         sock, addr = self._listener.accept()
         self._conn_count += 1
-        client = _Client(sock, ident=f"conn-{self._conn_count}")
+        client = _Client(
+            sock, ident=f"conn-{self._conn_count}", stats=self.wire
+        )
         clients[sock] = client
         selector.register(sock, selectors.EVENT_READ, client)
         self.log(f"worker connected from {addr[0]}:{addr[1]}")
@@ -268,6 +330,7 @@ class Coordinator:
                 f"worker {client.ident} gone; re-pending lease "
                 f"{lease.lease_id} units {list(lease.indices)}"
             )
+            self._partial.pop(lease.lease_id, None)
             self._note_quarantines(lease.indices)
         selector.unregister(client.sock)
         del clients[client.sock]
@@ -300,9 +363,7 @@ class Coordinator:
         except ProtocolError as exc:
             self.log(f"protocol error from {client.ident}: {exc}")
             try:
-                send_message(
-                    client.sock, {"type": "error", "message": str(exc)}
-                )
+                self._send(client, {"type": "error", "message": str(exc)})
             except OSError:
                 pass
             self._drop(client, selector, clients)
@@ -321,14 +382,18 @@ class Coordinator:
     ) -> None:
         kind = message["type"]
         if kind == "hello":
-            if message.get("protocol") != PROTOCOL_VERSION:
-                send_message(
-                    client.sock,
+            requested = message.get("protocol")
+            if requested not in range(
+                MIN_PROTOCOL_VERSION, PROTOCOL_VERSION + 1
+            ):
+                self._send(
+                    client,
                     {
                         "type": "error",
                         "message": (
-                            f"protocol {message.get('protocol')!r} != "
-                            f"coordinator protocol {PROTOCOL_VERSION}"
+                            f"protocol {requested!r} not in coordinator "
+                            f"range {MIN_PROTOCOL_VERSION}.."
+                            f"{PROTOCOL_VERSION}"
                         ),
                     },
                 )
@@ -337,39 +402,62 @@ class Coordinator:
             name = message.get("worker") or "worker"
             client.ident = f"{name}#{client.ident}"
             client.helloed = True
-            send_message(
-                client.sock,
+            client.protocol = min(PROTOCOL_VERSION, requested)
+            client.compress = (
+                self.compress
+                and client.protocol >= 3
+                and bool(message.get("compress"))
+            )
+            self._send(
+                client,
                 {
                     "type": "welcome",
-                    "protocol": PROTOCOL_VERSION,
+                    "protocol": client.protocol,
+                    "compress": client.compress,
                     "units_total": len(self.units),
                 },
             )
+            self.log(
+                f"{client.ident}: protocol v{client.protocol}, "
+                f"compression {'on' if client.compress else 'off'}"
+            )
         elif not client.helloed:
-            send_message(
-                client.sock,
+            self._send(
+                client,
                 {"type": "error", "message": "first message must be hello"},
             )
             self._drop(client, selector, clients)
         elif kind == "request":
             lease = self._table.grant(client.ident)
             if lease is not None:
-                send_message(
-                    client.sock,
+                self._send(
+                    client,
                     {
                         "type": "lease",
                         "lease": lease.lease_id,
-                        "deadline_s": self.lease_timeout,
+                        "deadline_s": lease.deadline - lease.granted_at,
                         "units": [
                             self.units[i].to_json() for i in lease.indices
                         ],
                     },
                 )
+                if len(lease.indices) > 1:
+                    estimate = self._table.estimate(client.ident)
+                    self.log(
+                        f"lease {lease.lease_id}: "
+                        f"{len(lease.indices)} unit(s) -> {client.ident}"
+                        + (
+                            f" (est {estimate * 1e3:.1f} ms/unit)"
+                            if estimate
+                            else ""
+                        )
+                    )
             elif self._table.done:
-                send_message(client.sock, {"type": "done"})
+                self._send(client, {"type": "done"})
             else:
-                send_message(
-                    client.sock, {"type": "wait", "retry_s": WAIT_RETRY_S}
+                self._send(
+                    client,
+                    {"type": "wait", "retry_s": self._wait_retry_s()},
                 )
         elif kind == "heartbeat":
             lease_id = message.get("lease", -1)
@@ -379,26 +467,42 @@ class Coordinator:
                     f"heartbeat from {client.ident} for lost lease "
                     f"{lease_id}; telling worker to discard it"
                 )
-            send_message(
-                client.sock,
+            self._send(
+                client,
                 {"type": "beat", "lease": lease_id, "held": held},
             )
+        elif kind == "result-part" and client.protocol >= 3:
+            self._merge_part(client, message)
         elif kind == "result":
             self._merge_result(client, message)
+        elif kind == "release" and client.protocol >= 3:
+            self._release_lease(client, message)
         elif kind == "bye":
             self._drop(client, selector, clients)
         else:
-            send_message(
-                client.sock,
+            self._send(
+                client,
                 {"type": "error", "message": f"unknown message {kind!r}"},
             )
             self._drop(client, selector, clients)
 
-    def _merge_result(self, client: _Client, message: dict) -> None:
+    def _wait_retry_s(self) -> float:
+        """Adaptive idle-worker retry: sleep until the soonest active
+        deadline could re-pend units, bounded so a corrupted clock can
+        neither hammer the coordinator nor park the worker."""
+        deadline = self._table.next_deadline()
+        if deadline is None:
+            return WAIT_RETRY_S
+        pause = deadline - self._table.now()
+        return min(max(pause, WAIT_RETRY_MIN_S), WAIT_RETRY_MAX_S)
+
+    def _merge_records(self, client: _Client, message: dict) -> set[int]:
+        """Fold a frame's records into the merge; returns the unit
+        indices the frame covered (fresh or duplicate)."""
         records = [
             RunRecord.from_json(obj) for obj in message.get("records", [])
         ]
-        completed: set[int] = set()
+        covered: set[int] = set()
         for record in records:
             index = self._key_to_index.get(record.key)
             if index is None:
@@ -406,7 +510,7 @@ class Coordinator:
                     f"worker {client.ident} returned record for unknown "
                     f"content key {record.key!r}; plan/worker mismatch"
                 )
-            completed.add(index)
+            covered.add(index)
             existing = self._records.get(index)
             if existing is None:
                 self._records[index] = record
@@ -425,6 +529,39 @@ class Coordinator:
                 )
             # identical duplicate (reassigned lease raced its original
             # holder): idempotent, drop silently.
+        if covered and fault_at("coordinator.merge") is not None:
+            self._restart_requested = True
+        return covered
+
+    def _merge_part(self, client: _Client, message: dict) -> None:
+        """Incremental ``result-part``: merge now, settle later.  The
+        lease stays active (its heartbeats carry liveness); a part for
+        a lease this coordinator no longer holds merges idempotently
+        and is otherwise ignored."""
+        lease_id = message.get("lease", -1)
+        covered = self._merge_records(client, message)
+        if lease_id in self._table.active:
+            self._partial.setdefault(lease_id, set()).update(covered)
+            self._table.heartbeat(lease_id)
+
+    def _release_lease(self, client: _Client, message: dict) -> None:
+        """A pipelined worker handing back an unstarted prefetched
+        lease (drain/bye): every unit re-pends immediately and for free
+        — voluntary return is not a failure."""
+        lease_id = message.get("lease", -1)
+        settlement = self._table.settle(lease_id)
+        self._partial.pop(lease_id, None)
+        if settlement is not None and settlement.abandoned:
+            self.log(
+                f"{client.ident} released unstarted lease {lease_id}; "
+                f"re-pending {len(settlement.abandoned)} unit(s) "
+                "without charge"
+            )
+
+    def _merge_result(self, client: _Client, message: dict) -> None:
+        lease_id = message.get("lease", -1)
+        completed = self._merge_records(client, message)
+        completed |= self._partial.pop(lease_id, set())
         failed: dict[int, str] = {}
         for entry in message.get("failed", []):
             index = self._key_to_index.get(entry.get("key"))
@@ -435,8 +572,18 @@ class Coordinator:
                     "mismatch"
                 )
             failed[index] = str(entry.get("error") or "unspecified failure")
+        lease = self._table.active.get(lease_id)
+        processed = len(completed) + len(failed)
+        if lease is not None and processed:
+            elapsed = message.get("elapsed_s")
+            if elapsed is None:
+                # v2 worker: time the lease from the coordinator side
+                # (includes grant latency — a pessimistic but safe
+                # estimate).
+                elapsed = self._table.now() - lease.granted_at
+            self._table.observe(client.ident, processed, elapsed)
         settlement = self._table.settle(
-            message.get("lease", -1), completed=completed, failed=failed
+            lease_id, completed=completed, failed=failed
         )
         if settlement is not None:
             for index in settlement.repended:
@@ -459,12 +606,32 @@ class Coordinator:
                     "re-pended without charge"
                 )
             if settlement.completed:
-                self.log(
-                    f"{len(self._table.completed)}/{len(self.units)} "
-                    f"units complete ({client.ident})"
-                )
-        if records and fault_at("coordinator.merge") is not None:
-            self._restart_requested = True
+                client.units_done += len(settlement.completed)
+                self._log_progress(client)
+
+    def _log_progress(self, client: _Client) -> None:
+        """One settlement's progress line: completion, per-worker
+        share, fleet throughput, ETA and wire bytes — the ``--dist``
+        progress UI."""
+        done = len(self._table.completed)
+        total = len(self.units)
+        line = (
+            f"{done}/{total} units complete "
+            f"({client.ident}: {client.units_done} units)"
+        )
+        elapsed = (
+            self._table.now() - self._started
+            if self._started is not None
+            else 0.0
+        )
+        if elapsed > 0 and done:
+            rate = done / elapsed
+            remaining = total - done - len(self._table.quarantined)
+            line += (
+                f"; {rate:.1f} units/s, ETA {remaining / rate:.0f}s, "
+                f"wire {self.wire.summary()}"
+            )
+        self.log(line)
 
     # -- merge ----------------------------------------------------------
     def _merged(self) -> list[RunRecord]:

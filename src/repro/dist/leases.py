@@ -8,13 +8,27 @@ passes (worker hung) or the connection drops (worker died, e.g.
 ``kill -9``) the lease's unfinished units return to the pending queue
 and the next requesting worker picks them up.
 
+Lease *size* is adaptive by default.  The table keeps a per-worker
+EWMA of unit service time, fed by :meth:`LeaseTable.observe` from
+result timings, and sizes each grant so one lease takes roughly
+``target_lease_s`` of compute — big batches early (amortising the
+request/grant round trip), shrinking toward the tail (a grant never
+takes more than its fair share of what is left, so one straggler
+cannot hold the last units hostage).  A worker with no history gets a
+one-unit probe lease; a fleet-wide mean covers fresh workers once any
+peer has reported.  The lease deadline scales with the granted size —
+a 100-unit lease legitimately takes ~100x longer than a probe, and
+must not expire mid-burn.  Passing an integer ``units_per_lease``
+disables all of this and restores the fixed-size behaviour exactly.
+
 Every failure a unit survives — an explicit worker-reported execution
 failure, a lost connection, an expired deadline — spends one charge of
 its *attempt budget*.  A unit that exhausts the budget is **poison**:
 instead of crash-looping the fleet forever it is parked in the
 quarantine list, reported at merge time, and the campaign completes
 around it (``done`` counts quarantined units as resolved).  Voluntary
-abandonment (a draining worker returning unexecuted units) costs
+abandonment (a draining worker returning unexecuted units, or a
+pipelined worker ``release``-ing an unstarted prefetched lease) costs
 nothing — it is not the unit's fault.
 
 Nothing here touches sockets or time directly — ``now`` is injected so
@@ -26,6 +40,7 @@ merge is idempotent, so at-least-once delivery is enough.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
@@ -34,6 +49,23 @@ from ..errors import DistError
 
 #: Default per-unit attempt budget before quarantine.
 MAX_ATTEMPTS = 3
+
+#: Default compute duration one adaptive lease aims for.  Long enough
+#: that the grant round trip is noise, short enough that losing a lease
+#: (worker death) forfeits only a few seconds of work.
+DEFAULT_TARGET_LEASE_S = 2.0
+
+#: EWMA smoothing for per-worker unit service time: heavy enough to
+#: converge within a few leases, light enough to ride out one outlier.
+EWMA_ALPHA = 0.4
+
+#: Hard ceiling on one adaptive grant, whatever the estimate says.
+MAX_LEASE_UNITS = 256
+
+#: Tail shrink: an adaptive grant never exceeds ceil(pending / this),
+#: so near the end leases shrink and stragglers cannot monopolise the
+#: last units.
+TAIL_FACTOR = 2
 
 
 @dataclass
@@ -44,6 +76,10 @@ class Lease:
     worker: str
     indices: tuple[int, ...]
     deadline: float
+    #: When the grant was made (the table's injected clock) — the
+    #: coordinator-side fallback for timing v2 workers that do not
+    #: report ``elapsed_s``.
+    granted_at: float = 0.0
 
 
 @dataclass
@@ -69,12 +105,17 @@ class LeaseTable:
     * ``completed`` — unit indices whose results have merged;
     * ``quarantined`` — unit index -> reason, for units that exhausted
       ``max_attempts`` (never granted again; counted as resolved).
+
+    ``units_per_lease=None`` (the default) enables adaptive sizing
+    against ``target_lease_s``; an integer fixes every grant to that
+    size and ignores the controller entirely.
     """
 
     n_units: int
     timeout: float = 60.0
-    units_per_lease: int = 1
+    units_per_lease: int | None = None
     max_attempts: int = MAX_ATTEMPTS
+    target_lease_s: float = DEFAULT_TARGET_LEASE_S
     now: Callable[[], float] = field(default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
@@ -84,9 +125,17 @@ class LeaseTable:
             self.now = time.monotonic
         if self.timeout <= 0:
             raise DistError(f"lease timeout must be > 0, got {self.timeout}")
-        if self.units_per_lease < 1:
+        if self.units_per_lease is not None and self.units_per_lease < 1:
             raise DistError(
                 f"units_per_lease must be >= 1, got {self.units_per_lease}"
+            )
+        if (
+            not math.isfinite(self.target_lease_s)
+            or self.target_lease_s <= 0
+        ):
+            raise DistError(
+                f"target_lease_s must be a finite positive number, got "
+                f"{self.target_lease_s}"
             )
         if self.max_attempts < 1:
             raise DistError(
@@ -100,25 +149,90 @@ class LeaseTable:
         self.attempts: dict[int, int] = {}
         #: index -> distinct workers that charged it (for the report).
         self.failed_workers: dict[int, set[str]] = {}
+        #: worker ident -> EWMA of seconds per unit (adaptive sizing).
+        self.service_ewma: dict[str, float] = {}
         self._next_id = 1
+
+    # -- adaptive sizing ------------------------------------------------
+    def observe(self, worker: str, n_units: int, elapsed_s: float) -> None:
+        """Feed one lease's timing into the worker's service-time EWMA.
+
+        ``elapsed_s`` may arrive over the network (a v3 worker reports
+        its own execution time); junk — non-finite, negative, or a
+        zero-unit report — is ignored rather than poisoning the
+        estimate.
+        """
+        if n_units < 1:
+            return
+        try:
+            elapsed = float(elapsed_s)
+        except (TypeError, ValueError):
+            return
+        if not math.isfinite(elapsed) or elapsed < 0:
+            return
+        per_unit = elapsed / n_units
+        previous = self.service_ewma.get(worker)
+        if previous is None:
+            self.service_ewma[worker] = per_unit
+        else:
+            self.service_ewma[worker] = (
+                EWMA_ALPHA * per_unit + (1.0 - EWMA_ALPHA) * previous
+            )
+
+    def estimate(self, worker: str) -> float | None:
+        """Seconds-per-unit estimate for ``worker``: its own EWMA, else
+        the fleet mean, else None (no peer has reported yet)."""
+        own = self.service_ewma.get(worker)
+        if own is not None:
+            return own
+        if self.service_ewma:
+            return sum(self.service_ewma.values()) / len(self.service_ewma)
+        return None
+
+    def _adaptive_size(self, worker: str) -> tuple[int, float]:
+        """Grant size and per-unit time estimate for one adaptive
+        lease.  No history anywhere -> a one-unit probe (its timing
+        seeds the EWMA); otherwise ``target_lease_s`` worth of units,
+        capped by :data:`MAX_LEASE_UNITS` and the tail-shrink share of
+        what is pending."""
+        per_unit = self.estimate(worker)
+        if per_unit is None:
+            return 1, 0.0
+        if per_unit <= 0:
+            size = MAX_LEASE_UNITS
+        else:
+            size = int(self.target_lease_s / per_unit)
+        tail_cap = max(1, math.ceil(len(self.pending) / TAIL_FACTOR))
+        return max(1, min(size, MAX_LEASE_UNITS, tail_cap)), per_unit
 
     # -- grants ---------------------------------------------------------
     def grant(self, worker: str) -> Lease | None:
-        """Lease up to ``units_per_lease`` pending units to ``worker``.
+        """Lease a batch of pending units to ``worker``.
 
         Returns None when nothing is pending (the worker should wait:
-        active leases may yet expire and re-pend their units).
+        active leases may yet expire and re-pend their units).  Batch
+        size is ``units_per_lease`` when fixed, controller-chosen when
+        adaptive; the adaptive deadline stretches by the predicted
+        execution time so a big lease is not punished for being big.
         """
         if not self.pending:
             return None
+        if self.units_per_lease is not None:
+            size = self.units_per_lease
+            slack = 0.0
+        else:
+            size, per_unit = self._adaptive_size(worker)
+            slack = per_unit * size
         indices = []
-        while self.pending and len(indices) < self.units_per_lease:
+        while self.pending and len(indices) < size:
             indices.append(self.pending.popleft())
+        now = self.now()
         lease = Lease(
             lease_id=self._next_id,
             worker=worker,
             indices=tuple(indices),
-            deadline=self.now() + self.timeout,
+            deadline=now + self.timeout + slack,
+            granted_at=now,
         )
         self._next_id += 1
         self.active[lease.lease_id] = lease
@@ -145,10 +259,11 @@ class LeaseTable:
         indices the worker *tried and could not execute* to an error
         description (each charges the unit's attempt budget); any other
         lease index was abandoned without an attempt (a draining
-        worker) and re-pends for free.  Settling an unknown lease
-        returns None — the lease expired, was reassigned, and its
-        duplicate results merge idempotently by content key, so the
-        late worker is simply thanked and ignored.
+        worker, or a pipelined worker releasing an unstarted prefetch)
+        and re-pends for free.  Settling an unknown lease returns None —
+        the lease expired, was reassigned, and its duplicate results
+        merge idempotently by content key, so the late worker is simply
+        thanked and ignored.
         """
         lease = self.active.pop(lease_id, None)
         if lease is None:

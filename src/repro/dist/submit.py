@@ -25,6 +25,7 @@ from typing import Callable, Sequence
 
 from ..parallel.plan import WorkUnit
 from .coordinator import Coordinator
+from .leases import DEFAULT_TARGET_LEASE_S
 
 
 def worker_command(
@@ -76,15 +77,22 @@ class DistributedSubmit:
     """Submit backend that coordinates ``workers`` local subprocesses.
 
     ``worker_jobs`` is each worker's internal pool width;
-    ``units_per_lease`` batches grant round-trips.  ``port=0`` binds an
-    ephemeral port (the default, so parallel CI jobs never collide).
+    ``units_per_lease`` fixes the grant batch size (None, the default,
+    lets the coordinator's adaptive controller size leases toward
+    ``lease_target_s`` of compute each).  ``port=0`` binds an ephemeral
+    port (the default, so parallel CI jobs never collide).
     """
 
     workers: int = 2
     host: str = "127.0.0.1"
     port: int = 0
     lease_timeout: float = 60.0
-    units_per_lease: int = 1
+    units_per_lease: int | None = None
+    #: Compute duration one adaptive lease targets (ignored when
+    #: ``units_per_lease`` is fixed).
+    lease_target_s: float = DEFAULT_TARGET_LEASE_S
+    #: Offer zlib frame compression to v3 workers.
+    compress: bool = True
     worker_jobs: int = 1
     #: Per-unit failure budget before quarantine (see
     #: :class:`~repro.dist.leases.LeaseTable`).
@@ -111,6 +119,8 @@ class DistributedSubmit:
             lease_timeout=self.lease_timeout,
             units_per_lease=self.units_per_lease,
             max_attempts=self.max_attempts,
+            lease_target_s=self.lease_target_s,
+            compress=self.compress,
             on_record=on_record,
             log=self.log,
         )

@@ -183,7 +183,6 @@ def run_chaos(
         inner=DistributedSubmit(
             workers=workers,
             lease_timeout=lease_timeout,
-            units_per_lease=1,
             max_attempts=max_attempts,
             fault_plan=str(plan_path),
             reconnect_timeout=reconnect_timeout,

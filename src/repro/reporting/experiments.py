@@ -458,6 +458,8 @@ def run_experiment(
     out: str | None = None,
     resume: str | None = None,
     dist: int | None = None,
+    units_per_lease: int | None = None,
+    lease_target_s: float | None = None,
     submit=None,
     **kwargs,
 ) -> str:
@@ -480,6 +482,12 @@ def run_experiment(
     awaiting remote workers).  Only ``DISTRIBUTABLE`` experiments
     accept either; the artefact is byte-identical to a local run.
     ``None`` defers to the scale's ``dist_workers`` knob.
+
+    ``units_per_lease`` fixes the distributed lease batch size (None,
+    the default, uses the coordinator's adaptive controller);
+    ``lease_target_s`` sets the compute duration one adaptive lease
+    aims for.  Both apply only to the ``dist`` path — an injected
+    ``submit`` backend carries its own configuration.
     """
     if isinstance(scale, str):
         scale = get_scale(scale)
@@ -494,9 +502,17 @@ def run_experiment(
     )
     workers = dist if dist is not None else scale.dist_workers
     if submit is None and workers:
-        from ..dist import DistributedSubmit
+        from ..dist import DEFAULT_TARGET_LEASE_S, DistributedSubmit
 
-        submit = DistributedSubmit(workers=workers)
+        submit = DistributedSubmit(
+            workers=workers,
+            units_per_lease=units_per_lease,
+            lease_target_s=(
+                lease_target_s
+                if lease_target_s is not None
+                else DEFAULT_TARGET_LEASE_S
+            ),
+        )
     if submit is not None:
         if name not in DISTRIBUTABLE:
             raise ValueError(

@@ -22,6 +22,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.dist import (
+    COMPRESS_FLAG,
     Coordinator,
     FrameDecoder,
     LeaseTable,
@@ -38,9 +39,7 @@ from repro.dist.worker import (
     BACKOFF_BASE_S,
     BACKOFF_CAP_S,
     RETRY_MAX_S,
-    _heartbeat,
-    _serve_lease,
-    _WorkerState,
+    _Session,
 )
 from repro.errors import (
     FaultInjected,
@@ -532,9 +531,7 @@ class TestHeartbeatDiscard:
         left, right = socket.socketpair()
         try:
             # The worker believes the lease is held...
-            assert _heartbeat(
-                right, FrameDecoder(), 5, lambda m: None, "w"
-            )
+            assert _Session(right, name="w")._heartbeat(5)
             # ...but nothing reached the coordinator.
             left.setblocking(False)
             with pytest.raises(BlockingIOError):
@@ -569,10 +566,10 @@ class TestHeartbeatDiscard:
 
         thread = threading.Thread(target=fake_coordinator, daemon=True)
         thread.start()
-        executed = _serve_lease(
-            right, FrameDecoder(), lease_msg, SERIAL, _WorkerState(),
-            0.0, None, logs.append, "w",
+        session = _Session(
+            right, name="w", config=SERIAL, log=logs.append
         )
+        executed = session._serve_lease(lease_msg)
         right.close()
         thread.join(timeout=10)
         left.close()
@@ -872,7 +869,14 @@ class TestFrameDecoderFuzz:
         deadline=None,
         suppress_health_check=[HealthCheck.function_scoped_fixture],
     )
-    @given(length=st.integers(MAX_FRAME + 1, 2**32 - 1))
+    @given(
+        # Any header whose *masked* length exceeds MAX_FRAME must be
+        # refused — with or without the v3 compress bit (the top bit).
+        length=st.one_of(
+            st.integers(MAX_FRAME + 1, COMPRESS_FLAG - 1),
+            st.integers(COMPRESS_FLAG + MAX_FRAME + 1, 2**32 - 1),
+        )
+    )
     def test_oversized_length_prefix_always_refused(self, length):
         decoder = FrameDecoder()
         with pytest.raises(ProtocolError, match="exceeds"):
