@@ -1,0 +1,205 @@
+"""Symmetry canonicalisation of litmus tests.
+
+Two litmus tests are the *same* test if one can be obtained from the
+other by permuting threads, renaming locations, renaming registers or
+relabelling stored values — MP with threads swapped and ``x``/``y``
+exchanged is still MP.  Synthesis enumerates raw programs and must not
+emit such duplicates, so this module computes a canonical form: the
+lexicographically least encoding over all thread permutations, with
+locations renamed in first-appearance order, registers renumbered
+``r1, r2, …`` in scan order, and stored values relabelled
+``1, 2, …`` per location in first-appearance order (``0`` stays the
+initial value).  Conjunction/disjunction operands of the condition are
+sorted after renaming, so logically identical conditions written in a
+different order also collapse.
+
+The canonical form is itself a :class:`~repro.litmus.tests.LitmusTest`
+(same name/description), which makes the key properties testable:
+``canonicalize`` is idempotent, and invariant under thread permutation
+and location renaming (hypothesis-checked in the test suite).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from ..litmus.ir import (
+    And,
+    I_FENCE,
+    I_LOAD,
+    I_RMW,
+    I_STORE,
+    LocEq,
+    Or,
+    RegEq,
+)
+from ..litmus.tests import LitmusTest
+
+#: Canonical location alphabet, by first appearance in the canonical
+#: thread order.  Synthesis and the registry stay far below this.
+LOC_NAMES = ("x", "y", "z", "w", "v", "u", "t", "s")
+
+
+def _rename_program(threads, order):
+    """Rename the thread tuple permuted by ``order``.
+
+    Returns ``(new_threads, loc_map, reg_map, val_maps)`` where
+    ``val_maps[original_loc]`` maps stored values to canonical ones
+    (``0`` always maps to ``0``).
+    """
+    loc_map: dict = {}
+    reg_map: dict = {}
+    val_maps: dict = {}
+
+    def canon_loc(loc):
+        if loc not in loc_map:
+            loc_map[loc] = LOC_NAMES[len(loc_map)]
+            val_maps[loc] = {0: 0}
+        return loc_map[loc]
+
+    def canon_val(loc, value):
+        vmap = val_maps[loc]
+        if value not in vmap:
+            vmap[value] = max(vmap.values()) + 1
+        return vmap[value]
+
+    new_threads = []
+    for tid in order:
+        new_program = []
+        for ins in threads[tid]:
+            op = ins[0]
+            if op == I_FENCE:
+                new_program.append(ins)
+            elif op == I_STORE:
+                loc = canon_loc(ins[1])
+                new_program.append((op, loc, canon_val(ins[1], ins[2])))
+            elif op == I_LOAD:
+                loc = canon_loc(ins[1])
+                reg_map.setdefault(ins[2], f"r{len(reg_map) + 1}")
+                new_program.append((op, loc, reg_map[ins[2]]))
+            elif op == I_RMW:
+                loc = canon_loc(ins[1])
+                reg_map.setdefault(ins[2], f"r{len(reg_map) + 1}")
+                new_program.append(
+                    (op, loc, reg_map[ins[2]], canon_val(ins[1], ins[3]))
+                )
+            else:  # pragma: no cover - validate_test rejects these
+                raise ValueError(f"unknown instruction {op!r}")
+        new_threads.append(tuple(new_program))
+    return tuple(new_threads), loc_map, reg_map, val_maps
+
+
+def _reg_locs(threads) -> dict:
+    """Map each register to the location its defining read touches."""
+    out = {}
+    for program in threads:
+        for ins in program:
+            if ins[0] in (I_LOAD, I_RMW):
+                out[ins[2]] = ins[1]
+    return out
+
+
+def _extend_val_maps(cond, reg_locs, val_maps):
+    """Give condition-only values canonical names.
+
+    A condition may compare against a value the program never stores
+    (e.g. a deliberately unsatisfiable clause).  Each such value gets
+    the next canonical slot for its location, assigned in sorted
+    numeric order — monotone, hence stable under re-canonicalisation.
+    """
+    extra: dict = {}
+
+    def visit(c):
+        if isinstance(c, RegEq):
+            loc = reg_locs.get(c.reg)
+            if loc is not None and c.value not in val_maps[loc]:
+                extra.setdefault(loc, set()).add(c.value)
+        elif isinstance(c, LocEq):
+            if c.loc in val_maps and c.value not in val_maps[c.loc]:
+                extra.setdefault(c.loc, set()).add(c.value)
+        elif isinstance(c, (And, Or)):
+            for term in c.terms:
+                visit(term)
+
+    visit(cond)
+    for loc, values in extra.items():
+        vmap = val_maps[loc]
+        for v in sorted(values):
+            vmap[v] = max(vmap.values()) + 1
+
+
+def _cond_key(cond):
+    if isinstance(cond, RegEq):
+        return (0, len(cond.reg), cond.reg, cond.value)
+    if isinstance(cond, LocEq):
+        return (1, len(cond.loc), cond.loc, cond.value)
+    if isinstance(cond, And):
+        return (2, tuple(_cond_key(t) for t in cond.terms))
+    return (3, tuple(_cond_key(t) for t in cond.terms))
+
+
+def _rename_cond(cond, loc_map, reg_map, reg_locs, val_maps):
+    if isinstance(cond, RegEq):
+        loc = reg_locs[cond.reg]
+        return RegEq(reg_map[cond.reg], val_maps[loc][cond.value])
+    if isinstance(cond, LocEq):
+        return LocEq(loc_map[cond.loc], val_maps[cond.loc][cond.value])
+    terms = sorted(
+        (_rename_cond(t, loc_map, reg_map, reg_locs, val_maps)
+         for t in cond.terms),
+        key=_cond_key,
+    )
+    return And(*terms) if isinstance(cond, And) else Or(*terms)
+
+
+def _program_encoding(threads):
+    return tuple(tuple(thread) for thread in threads)
+
+
+def _candidates(threads, forbidden):
+    """Yield ``(encoding, new_threads, new_forbidden)`` per thread
+    permutation; the canonical form is the minimum encoding."""
+    reg_locs = _reg_locs(threads)
+    for order in permutations(range(len(threads))):
+        new_threads, loc_map, reg_map, val_maps = _rename_program(
+            threads, order
+        )
+        if forbidden is None:
+            yield (_program_encoding(new_threads), new_threads, None)
+            continue
+        _extend_val_maps(forbidden, reg_locs, val_maps)
+        new_forbidden = _rename_cond(
+            forbidden, loc_map, reg_map, reg_locs, val_maps
+        )
+        encoding = (_program_encoding(new_threads), _cond_key(new_forbidden))
+        yield (encoding, new_threads, new_forbidden)
+
+
+def canonicalize(test: LitmusTest) -> LitmusTest:
+    """Canonical representative of ``test``'s symmetry class.
+
+    Idempotent, and invariant (as declared content) under thread
+    permutation, location renaming, register renaming and store-value
+    relabelling.  Name and description are preserved.
+    """
+    best = min(_candidates(test.threads, test.forbidden),
+               key=lambda cand: cand[0])
+    return LitmusTest(
+        name=test.name,
+        description=test.description,
+        threads=best[1],
+        forbidden=best[2],
+    )
+
+
+def canonical_key(test: LitmusTest) -> tuple:
+    """Hashable identity of ``test``'s symmetry class (program and
+    condition)."""
+    return min(cand[0] for cand in _candidates(test.threads, test.forbidden))
+
+
+def canonical_program_key(threads) -> tuple:
+    """Hashable identity of a bare thread tuple's symmetry class,
+    ignoring any condition — used to deduplicate synthesis candidates
+    before a condition has been derived."""
+    return min(cand[0] for cand in _candidates(tuple(threads), None))

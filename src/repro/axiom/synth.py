@@ -1,0 +1,273 @@
+"""Bounded litmus-test synthesis from the axiomatic model.
+
+The registry's sixteen tests were written by hand from the literature.
+This module derives such tests mechanically: enumerate every bounded
+program over ``st``/``ld``/``rmw``/``fence`` for a fixed thread count,
+prune the shapes that cannot distinguish memory models, deduplicate by
+symmetry canonicalisation (:mod:`repro.axiom.canon`), and keep exactly
+the programs for which the axiomatic model admits a weak-allowed,
+SC-unreachable final state.  For each survivor the forbidden condition
+is derived from that state and greedily minimised while it stays
+SC-unreachable, yielding a ready-to-register
+:class:`~repro.litmus.tests.LitmusTest`.
+
+Everything is static — no simulation.  The synthesized set is then fed
+to the backend soundness gate and the cross-chip survey by the
+``gpu-wmm synth`` subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations_with_replacement, product
+
+from ..litmus.ir import (
+    And,
+    I_FENCE,
+    I_LOAD,
+    I_RMW,
+    I_STORE,
+    LocEq,
+    RegEq,
+    compile_condition,
+    format_condition,
+)
+from ..litmus.tests import ALL_TESTS, LitmusTest
+from .canon import (
+    LOC_NAMES,
+    _cond_key,
+    canonical_key,
+    canonical_program_key,
+    canonicalize,
+)
+from .model import _enumerate
+
+
+@dataclass(frozen=True)
+class SynthConfig:
+    """Bounds for the enumeration.
+
+    ``threads`` is the exact thread count; ``max_ops`` bounds the
+    memory operations per thread (fences do not count against it);
+    ``locations``/``values`` size the alphabets.  The defaults span a
+    few thousand candidate pairs and run in seconds; three-thread
+    spaces need tighter bounds.
+    """
+
+    threads: int = 2
+    max_ops: int = 2
+    locations: int = 2
+    values: int = 1
+    rmw: bool = True
+    fences: bool = True
+    limit: int = 0          # 0 = emit every deduplicated test
+
+    def __post_init__(self):
+        if not 2 <= self.threads <= 3:
+            raise ValueError("synthesis supports 2 or 3 threads")
+        if not 1 <= self.max_ops <= 3:
+            raise ValueError("max_ops must be 1..3")
+        if not 1 <= self.locations <= len(LOC_NAMES):
+            raise ValueError(f"locations must be 1..{len(LOC_NAMES)}")
+        if not 1 <= self.values <= 3:
+            raise ValueError("values must be 1..3")
+
+
+@dataclass(frozen=True)
+class Synthesized:
+    """One emitted test: always weak-allowed ∧ SC-unreachable by
+    construction; ``matches`` names the registry test it is a symmetry
+    variant of, if any."""
+
+    test: LitmusTest
+    matches: str | None
+
+    @property
+    def novel(self) -> bool:
+        return self.matches is None
+
+
+@dataclass(frozen=True)
+class SynthReport:
+    config: SynthConfig
+    programs_enumerated: int
+    programs_pruned: int
+    programs_deduped: int
+    distinguishing: int
+    tests: tuple = field(default_factory=tuple)
+
+    @property
+    def novel(self) -> tuple:
+        return tuple(s for s in self.tests if s.novel)
+
+
+def _mem_ops(cfg: SynthConfig):
+    """Memory-operation alphabet; register slots filled in later."""
+    ops = []
+    for loc in LOC_NAMES[:cfg.locations]:
+        for v in range(1, cfg.values + 1):
+            ops.append((I_STORE, loc, v))
+            if cfg.rmw:
+                ops.append((I_RMW, loc, None, v))
+        ops.append((I_LOAD, loc, None))
+    return ops
+
+
+def _thread_programs(cfg: SynthConfig):
+    """Every thread program up to the bounds, as instruction tuples
+    with ``None`` register placeholders.  Fences appear only strictly
+    between memory operations — leading/trailing fences order nothing."""
+    ops = _mem_ops(cfg)
+    programs = []
+    for length in range(1, cfg.max_ops + 1):
+        for combo in product(ops, repeat=length):
+            if not cfg.fences or length == 1:
+                programs.append(combo)
+                continue
+            for gaps in product((False, True), repeat=length - 1):
+                program = [combo[0]]
+                for fenced, ins in zip(gaps, combo[1:]):
+                    if fenced:
+                        program.append((I_FENCE,))
+                    program.append(ins)
+                programs.append(tuple(program))
+    return programs
+
+
+def _assign_registers(threads):
+    """Replace ``None`` register placeholders with globally unique
+    ``r1, r2, …`` in scan order."""
+    counter = 0
+    out = []
+    for program in threads:
+        new_program = []
+        for ins in program:
+            if ins[0] == I_LOAD:
+                counter += 1
+                new_program.append((I_LOAD, ins[1], f"r{counter}"))
+            elif ins[0] == I_RMW:
+                counter += 1
+                new_program.append((I_RMW, ins[1], f"r{counter}", ins[3]))
+            else:
+                new_program.append(ins)
+        out.append(tuple(new_program))
+    return tuple(out)
+
+
+def _communicating(threads) -> bool:
+    """Prune shapes that cannot distinguish memory models: every
+    location must be touched by ≥ 2 threads, and something must be
+    observable (a read, or a location with ≥ 2 writes)."""
+    touched: dict = {}
+    writes: dict = {}
+    has_read = False
+    for tid, program in enumerate(threads):
+        for ins in program:
+            if ins[0] == I_FENCE:
+                continue
+            touched.setdefault(ins[1], set()).add(tid)
+            if ins[0] in (I_STORE, I_RMW):
+                writes[ins[1]] = writes.get(ins[1], 0) + 1
+            if ins[0] in (I_LOAD, I_RMW):
+                has_read = True
+    if not touched:
+        return False
+    if any(len(tids) < 2 for tids in touched.values()):
+        return False
+    return has_read or any(n >= 2 for n in writes.values())
+
+
+def _derive_condition(threads, weak_only, sc_states):
+    """Condition for the 'best' weak-only state: the full conjunction
+    of its register/memory equalities, greedily minimised while no SC
+    state satisfies it.  Every weak-only state is scored and the
+    shortest (then lexicographically least) condition wins."""
+    sc_envs = [(dict(regs), dict(mem)) for regs, mem in sc_states]
+
+    def sc_reachable(cond) -> bool:
+        pred = compile_condition(cond)
+        return any(pred(regs, mem) for regs, mem in sc_envs)
+
+    best = None
+    for regs, mem in sorted(weak_only):
+        terms = [RegEq(r, v) for r, v in regs]
+        terms += [LocEq(loc, v) for loc, v in mem]
+        # Drop terms one at a time as long as the remainder still
+        # excludes every SC state.
+        for term in list(terms):
+            if len(terms) == 1:
+                break
+            trial = [t for t in terms if t is not term]
+            if not sc_reachable(And(*trial) if len(trial) > 1 else trial[0]):
+                terms = trial
+        cond = And(*terms) if len(terms) > 1 else terms[0]
+        key = (len(terms), _cond_key(cond))
+        if best is None or key < best[0]:
+            best = (key, cond)
+    return best[1]
+
+
+def synthesize(cfg: SynthConfig = SynthConfig()) -> SynthReport:
+    """Run the bounded enumeration and return every deduplicated test
+    whose forbidden outcome is weak-allowed ∧ SC-unreachable."""
+    registry_keys = {canonical_key(t): t.name for t in ALL_TESTS}
+
+    singles = _thread_programs(cfg)
+    enumerated = 0
+    pruned = 0
+    survivors = {}
+    for combo in combinations_with_replacement(singles, cfg.threads):
+        enumerated += 1
+        threads = _assign_registers(combo)
+        if not _communicating(threads):
+            continue
+        pruned += 1
+        key = canonical_program_key(threads)
+        if key in survivors:
+            continue
+        survivors[key] = canonicalize(
+            LitmusTest(
+                name="synth",
+                description="synthesis candidate",
+                threads=threads,
+                # Placeholder until the real condition is derived; a
+                # thread program never starts with a fence, so the
+                # first instruction always names a location.
+                forbidden=LocEq(threads[0][0][1], 0),
+            )
+        ).threads
+
+    emitted = []
+    distinguishing = 0
+    for key in sorted(survivors):
+        threads = survivors[key]
+        _, modes = _enumerate(threads)
+        weak_only = frozenset(modes["program"]) - frozenset(modes["full"])
+        if not weak_only:
+            continue
+        distinguishing += 1
+        cond = _derive_condition(threads, weak_only, modes["full"])
+        test = LitmusTest(
+            name=f"SYN-{len(emitted) + 1}",
+            description=(
+                f"synthesized ({cfg.threads}T, <={cfg.max_ops} ops): "
+                f"forbid {format_condition(cond)}"
+            ),
+            threads=threads,
+            forbidden=cond,
+        )
+        emitted.append(Synthesized(
+            test=test,
+            matches=registry_keys.get(canonical_key(test)),
+        ))
+        if cfg.limit and len(emitted) >= cfg.limit:
+            break
+
+    return SynthReport(
+        config=cfg,
+        programs_enumerated=enumerated,
+        programs_pruned=pruned,
+        programs_deduped=len(survivors),
+        distinguishing=distinguishing,
+        tests=tuple(emitted),
+    )

@@ -6,6 +6,10 @@ Subcommands:
   (``table1``, ``fig3``, ``table2``, ``table3``, ``fig4``, ``table4``,
   ``table5``, ``table6``, ``fig5``);
 * ``litmus`` — run one litmus test under a stressing configuration;
+* ``axiom`` — classify a test's final states against the axiomatic
+  weak-memory model (verdict table with witness executions);
+* ``synth`` — synthesize novel litmus tests from the model (bounded
+  enumeration, symmetry dedup, soundness gate, cross-chip survey);
 * ``test-app`` — run one application under a testing environment;
 * ``harden`` — empirical fence insertion for one application/chip;
 * ``coordinate`` — serve an experiment's work units to socket workers
@@ -418,6 +422,64 @@ def _cmd_tests(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_axiom(args: argparse.Namespace) -> int:
+    from .axiom.model import classify
+    from .reporting.axiom import render_axiom_report, render_axiom_summary
+
+    if args.test is None:
+        print(render_axiom_summary(ALL_TESTS))
+        return 0
+    print(render_axiom_report(classify(get_test(args.test))))
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from .axiom.synth import SynthConfig, synthesize
+    from .reporting.axiom import render_synth_report, synth_survey
+    from .testing.soundness import soundness_gate
+
+    try:
+        cfg = SynthConfig(
+            threads=args.threads,
+            max_ops=args.max_ops,
+            locations=args.locations,
+            values=args.values,
+            rmw=not args.no_rmw,
+            fences=not args.no_fences,
+            limit=args.limit or 0,
+        )
+    except ValueError as exc:
+        print(f"gpu-wmm: error: {exc}", file=sys.stderr)
+        return 2
+    report = synthesize(cfg)
+    print(render_synth_report(report, show_ir=not args.no_ir))
+    novel = tuple(s.test for s in report.novel)
+    if not novel:
+        return 0
+    gate = soundness_gate(
+        tests=novel,
+        chip=args.chips[0] if args.chips else "K20",
+        backends=("direct",),
+        seed=args.seed,
+        executions={"direct": args.executions},
+        check_sc_reference=False,
+    )
+    print()
+    print(
+        f"soundness gate over {len(novel)} novel tests "
+        f"({gate.chip}, direct backend, seed {gate.seed}): "
+        + ("PASS" if gate.ok else "FAIL")
+    )
+    for violation in gate.violations:
+        print(f"  {violation}")
+    if args.no_survey:
+        return 0 if gate.ok else 1
+    chips = [get_chip(c) for c in (args.chips or CHIP_ORDER)]
+    print()
+    print(synth_survey(novel, chips, args.executions, seed=args.seed))
+    return 0 if gate.ok else 1
+
+
 def _cmd_litmus(args: argparse.Namespace) -> int:
     chip = get_chip(args.chip)
     test = get_test(args.test)
@@ -544,6 +606,9 @@ def _epilog() -> str:
             "",
             "examples:",
             "  gpu-wmm tests                  # litmus registry",
+            "  gpu-wmm axiom MP               # axiomatic verdict table",
+            "  gpu-wmm axiom                  # whole-registry summary",
+            "  gpu-wmm synth --max-ops 2 --chips K20 980",
             "  gpu-wmm litmus MP --chip K20 --stress-at 0,64",
             "  gpu-wmm litmus IRIW --chip K20 --stress-at 0,64 \\",
             "      --backend engine           # compiled SIMT path",
@@ -896,6 +961,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the litmus-test registry with descriptions",
     )
     p.set_defaults(fn=_cmd_tests)
+
+    p = sub.add_parser(
+        "axiom",
+        help=(
+            "classify a litmus test's final states against the "
+            "axiomatic weak-memory model (no simulation)"
+        ),
+    )
+    p.add_argument(
+        "test",
+        type=_test_arg,
+        nargs="?",
+        default=None,
+        help=(
+            "litmus test to classify, case-insensitive "
+            f"({', '.join(_TEST_NAMES)}); omit for a registry summary"
+        ),
+    )
+    p.set_defaults(fn=_cmd_axiom)
+
+    p = sub.add_parser(
+        "synth",
+        help=(
+            "synthesize litmus tests from the axiomatic model "
+            "(bounded enumeration, symmetry dedup, soundness gate, "
+            "cross-chip survey)"
+        ),
+    )
+    p.add_argument(
+        "--threads", type=int, default=2,
+        help="exact thread count (2 or 3; default: 2)",
+    )
+    p.add_argument(
+        "--max-ops", type=int, default=2,
+        help="memory operations per thread, fences excluded (default: 2)",
+    )
+    p.add_argument(
+        "--locations", type=int, default=2,
+        help="location alphabet size (default: 2)",
+    )
+    p.add_argument(
+        "--values", type=int, default=1,
+        help="store-value alphabet 1..N (default: 1)",
+    )
+    p.add_argument(
+        "--no-rmw", action="store_true",
+        help="exclude rmw from the instruction alphabet",
+    )
+    p.add_argument(
+        "--no-fences", action="store_true",
+        help="exclude fences from the enumeration",
+    )
+    p.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="stop after emitting N tests (default: all)",
+    )
+    p.add_argument(
+        "--chips",
+        nargs="+",
+        choices=_CHIP_NAMES,
+        default=None,
+        metavar="CHIP",
+        help=(
+            "chips for the cross-chip survey (default: all studied "
+            "chips; the first chip also hosts the soundness gate)"
+        ),
+    )
+    p.add_argument(
+        "--executions", type=int, default=40,
+        help="survey/gate executions per test (default: 40)",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--no-survey", action="store_true",
+        help="skip the cross-chip survey (gate only)",
+    )
+    p.add_argument(
+        "--no-ir", action="store_true",
+        help="skip printing ready-to-register IR for novel tests",
+    )
+    p.set_defaults(fn=_cmd_synth)
 
     p = sub.add_parser(
         "litmus", help="run a litmus test under a stressing configuration"

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 
 from ..apps.base import Application
 from ..chips.profile import HardwareProfile
-from .measure import CostMeasurement, FencingStrategy, measure_cost
+from .measure import FencingStrategy, measure_cost
 
 
 @dataclass(frozen=True)

@@ -43,7 +43,12 @@ from ..parallel import (
 )
 from ..rng import BufferedRNG, derive_seed, make_rng
 from .results import LitmusResult
-from .runner import _ROUNDS, LitmusInstance
+from .runner import (
+    _ROUNDS,
+    LitmusInstance,
+    OutcomeObservation,
+    written_locs,
+)
 from .tests import LitmusTest
 
 #: Tick budget per compiled litmus round.  The programs are a handful
@@ -259,6 +264,79 @@ def _engine_span(
                 weak += 1
                 break
     return weak
+
+
+def observed_outcomes_engine(
+    profile: HardwareProfile,
+    test: LitmusTest,
+    distance: int,
+    stress_spec,
+    executions: int,
+    seed: int = 0,
+    randomise: bool = False,
+    rounds: int = _ROUNDS,
+) -> OutcomeObservation:
+    """Run the engine backend and record every round's final state.
+
+    Mirrors :func:`_engine_span` (same ``"engine"`` seed label, same
+    stress-unit draws, same kernel) but reads the final value of every
+    program-written location after each round instead of only the
+    condition's, and never breaks out of a round batch early.  The
+    engine raises on kernel timeout, so every round completes and
+    ``incomplete`` is always 0 here; the field exists for interface
+    parity with the direct collector.
+    """
+    compiled = compile_test(profile, test, distance)
+    span_seed = derive_seed(
+        seed, profile.short_name, test.name, distance, "engine"
+    )
+    scratch_base = compiled.scratch_base
+    scratch_size = compiled.scratch_size
+    n_warps = compiled.config.grid_dim
+    written = written_locs(test)
+    written_addrs = tuple(
+        (loc, compiled.instance.addr(loc)) for loc in written
+    )
+    test_obj = compiled.test
+    outcomes: dict = {}
+    weak = 0
+    mem: MemorySystem | None = None
+    engine: Engine | None = None
+    for i in range(executions):
+        rng = BufferedRNG(make_rng(span_seed, i))
+        field = stress_spec.build(profile, scratch_base, scratch_size, rng)
+        if mem is None:
+            mem = MemorySystem(profile, field, rng)
+            engine = Engine(
+                profile,
+                mem,
+                rng,
+                max_ticks=ENGINE_MAX_TICKS,
+                randomise=randomise,
+                raise_on_timeout=True,
+            )
+        else:
+            mem.reset(stress=field, rng=rng)
+            engine.rng = rng
+        engine.n_stress_units = stress_spec.stress_units(n_warps, rng)
+        hit = False
+        for _ in range(rounds):
+            compiled.init_round(mem)
+            engine.run(compiled.kernel, compiled.config)
+            regs, final = compiled.read_outcome(mem)
+            get = mem.mem.get
+            key = (
+                tuple(sorted(regs.items())),
+                tuple(sorted(
+                    (loc, get(addr, 0)) for loc, addr in written_addrs
+                )),
+            )
+            outcomes[key] = outcomes.get(key, 0) + 1
+            if test_obj.weak(regs, final or None):
+                hit = True
+        if hit:
+            weak += 1
+    return OutcomeObservation(outcomes, weak, incomplete=0)
 
 
 def _engine_shard(args: tuple) -> LitmusShard:

@@ -490,6 +490,126 @@ def _litmus_span(
     return weak
 
 
+class OutcomeObservation(NamedTuple):
+    """Every distinct final state a backend produced, with counts.
+
+    ``outcomes`` maps ``(sorted register items, sorted final-value items
+    over program-written locations)`` — the state-key shape of
+    :func:`repro.litmus.sc.sc_outcomes` and the axiomatic model — to the
+    number of rounds that ended in that state.  ``weak`` counts the
+    executions with at least one forbidden round (equal to
+    ``run_litmus(...).weak`` at the same seed: the collector runs the
+    rounds an early-exit would skip, but each execution draws from its
+    own seed stream, so later executions are unaffected).
+    ``incomplete`` counts dropped rounds whose loads did not all resolve
+    within the tick budget — the soundness gate asserts it stays 0."""
+
+    outcomes: dict
+    weak: int
+    incomplete: int
+
+
+def written_locs(test: LitmusTest) -> tuple:
+    """Locations the program writes (``st``/``rmw``), in first-use
+    order — the locations whose final value the oracles track."""
+    return tuple(dict.fromkeys(
+        ins[1]
+        for program in test.threads
+        for ins in program
+        if ins[0] in ("st", "rmw")
+    ))
+
+
+def observed_outcomes(
+    profile: HardwareProfile,
+    test: LitmusTest,
+    distance: int,
+    stress_spec,
+    executions: int,
+    seed: int = 0,
+    randomise: bool = False,
+    rounds: int = _ROUNDS,
+) -> OutcomeObservation:
+    """Run the direct backend and record *every* round's final state.
+
+    Identical draw-for-draw to :func:`run_litmus` (same span seeding,
+    same stress fields, same round functions) except that no execution
+    exits early on a weak round; the recording happens inside an
+    injected round-plan predicate, so the simulation path is untouched.
+    Used by the simulator-soundness gate to check observed states
+    against the axiomatic model.
+    """
+    if test.n_threads > profile.n_sms:
+        raise ValueError(
+            f"{test.name} needs {test.n_threads} SMs; "
+            f"{profile.short_name} models {profile.n_sms}"
+        )
+    instance = LitmusInstance.layout(profile, test, distance)
+    base = _round_plan(instance)
+    addrs = instance.loc_addrs()
+    loc_index = test.locations.index
+    written = written_locs(test)
+    # Observe the final value of every written location (the oracle
+    # state) plus whatever the condition itself reads.
+    obs_locs = {loc: addrs[loc_index(loc)] for loc in written}
+    for loc, addr in base.final_locs:
+        obs_locs.setdefault(loc, addr)
+    n_regs = len(test.registers)
+    written_set = frozenset(written)
+    real_pred = base.pred
+    outcomes: dict = {}
+    incomplete = 0
+
+    def record(regs, final):
+        nonlocal incomplete
+        if len(regs) == n_regs:
+            key = (
+                tuple(sorted(regs.items())),
+                tuple(sorted(
+                    (loc, v) for loc, v in final.items()
+                    if loc in written_set
+                )),
+            )
+            outcomes[key] = outcomes.get(key, 0) + 1
+        else:
+            incomplete += 1
+        return bool(real_pred(regs, final))
+
+    plan = base._replace(final_locs=tuple(obs_locs.items()), pred=record)
+    n_threads = len(plan.programs)
+    round_fn = _one_round_ldst2 if plan.fast2 else _one_round
+    span_seed = derive_seed(
+        seed, profile.short_name, test.name, distance
+    )
+    mem: MemorySystem | None = None
+    weak = 0
+    for i in range(executions):
+        rng = BufferedRNG(make_rng(span_seed, i))
+        field = stress_spec.build(
+            profile, instance.scratch_base, instance.scratch_size, rng
+        )
+        if mem is None:
+            mem = MemorySystem(profile, field, rng)
+        else:
+            mem.reset(stress=field, rng=rng)
+        sms = tuple(range(n_threads))
+        if randomise and rng.random() < 0.5:
+            sms = sms[::-1]
+        if randomise:
+            exec_p = tuple(
+                rng.uniform(0.35, 0.95) for _ in range(n_threads)
+            )
+        else:
+            exec_p = (_EXEC_P,) * n_threads
+        hit = False
+        for _ in range(rounds):
+            if round_fn(plan, mem, sms, exec_p, rng):
+                hit = True
+        if hit:
+            weak += 1
+    return OutcomeObservation(outcomes, weak, incomplete)
+
+
 def _litmus_shard(args: tuple) -> LitmusShard:
     """Process-pool worker: one execution shard of one litmus instance."""
     profile, instance, stress_spec, seed, randomise, start, stop = args

@@ -7,19 +7,105 @@ test's thread programs (each instruction executes atomically against a
 single global memory, in program order per thread) and checks whether
 any final state satisfies the forbidden condition.
 
-Registered tests have at most four threads of a few instructions, so
-exhaustive enumeration with state memoisation is instant; the test
-suite runs every registry entry through :func:`forbidden_sc_reachable`
-to guarantee the registry never ships a vacuous test.
+The enumerator is tuned for synthesis-scale use (thousands of candidate
+programs filtered per run, see :mod:`repro.axiom.synth`): interleaving
+states are hashed index tuples rather than dict copies, the walk is an
+iterative worklist instead of recursion, and whole results are memoised
+per program under :func:`functools.lru_cache` — two tests with the same
+thread programs (conditions differ) share one enumeration.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+from .ir import I_FENCE, I_LOAD, I_RMW, I_STORE
 from .tests import LitmusTest
 
+_ST, _LD, _RMW, _FENCE = 0, 1, 2, 3
+_OPCODE = {I_STORE: _ST, I_LOAD: _LD, I_RMW: _RMW, I_FENCE: _FENCE}
 
-def _final_key(regs: dict, mem: dict) -> tuple:
-    return (tuple(sorted(regs.items())), tuple(sorted(mem.items())))
+
+@lru_cache(maxsize=4096)
+def _sc_outcomes(threads: tuple) -> frozenset:
+    """Memoised core: all SC-reachable final states of ``threads``.
+
+    A state during the walk is ``(pcs, regs, mem)`` with registers and
+    memory as value tuples over pre-assigned indices.  Whether a
+    register has been written or a location stored is a function of
+    ``pcs`` alone (each register is the target of exactly one read, and
+    stores-before-pc is determined by pc), so the presence masks the
+    old dict-based enumerator carried implicitly need not be part of
+    the key.
+    """
+    reg_index: dict = {}
+    loc_index: dict = {}
+    stored: set = set()
+    programs = []
+    for program in threads:
+        ops = []
+        for ins in program:
+            code = _OPCODE[ins[0]]
+            if code == _FENCE:
+                ops.append((code, 0, 0, 0))
+                continue
+            loc = loc_index.setdefault(ins[1], len(loc_index))
+            if code == _ST:
+                stored.add(loc)
+                ops.append((code, loc, ins[2], 0))
+            elif code == _LD:
+                reg = reg_index.setdefault(ins[2], len(reg_index))
+                ops.append((code, loc, reg, 0))
+            else:  # rmw: read old value into reg, store new value
+                stored.add(loc)
+                reg = reg_index.setdefault(ins[2], len(reg_index))
+                ops.append((code, loc, reg, ins[3]))
+        programs.append(tuple(ops))
+
+    n = len(programs)
+    lengths = tuple(len(p) for p in programs)
+    reg_names = tuple(sorted(reg_index, key=reg_index.get))
+    # Final memory covers exactly the stored locations, like the
+    # dict-based enumerator whose mem only ever gained stored keys.
+    stored_locs = tuple(sorted(
+        ((name, idx) for name, idx in loc_index.items() if idx in stored),
+        key=lambda pair: pair[1],
+    ))
+
+    start = ((0,) * n, (0,) * len(reg_index), (0,) * len(loc_index))
+    seen = {start}
+    stack = [start]
+    outcomes = set()
+    while stack:
+        pcs, regs, mem = stack.pop()
+        if pcs == lengths:
+            outcomes.add((
+                tuple(sorted(zip(reg_names, regs))),
+                tuple(sorted((name, mem[idx]) for name, idx in stored_locs)),
+            ))
+            continue
+        for t in range(n):
+            pc = pcs[t]
+            if pc >= lengths[t]:
+                continue
+            code, loc, a, b = programs[t][pc]
+            next_pcs = pcs[:t] + (pc + 1,) + pcs[t + 1:]
+            if code == _ST:
+                state = (next_pcs, regs,
+                         mem[:loc] + (a,) + mem[loc + 1:])
+            elif code == _LD:
+                state = (next_pcs,
+                         regs[:a] + (mem[loc],) + regs[a + 1:], mem)
+            elif code == _RMW:
+                state = (next_pcs,
+                         regs[:a] + (mem[loc],) + regs[a + 1:],
+                         mem[:loc] + (b,) + mem[loc + 1:])
+            else:  # fence — no-op under SC
+                state = (next_pcs, regs, mem)
+            if state not in seen:
+                seen.add(state)
+                stack.append(state)
+    return frozenset(outcomes)
 
 
 def sc_outcomes(test: LitmusTest) -> set:
@@ -29,46 +115,7 @@ def sc_outcomes(test: LitmusTest) -> set:
     tuples.  Registers unwritten at the end (impossible for complete
     programs) and untouched locations default to 0 at evaluation time.
     """
-    n = test.n_threads
-    programs = test.threads
-    lengths = tuple(len(p) for p in programs)
-    outcomes: set = set()
-    seen: set = set()
-
-    def rec(pcs: tuple, mem: dict, regs: dict) -> None:
-        state = (pcs, _final_key(regs, mem))
-        if state in seen:
-            return
-        seen.add(state)
-        if pcs == lengths:
-            outcomes.add(_final_key(regs, mem))
-            return
-        for t in range(n):
-            pc = pcs[t]
-            if pc >= lengths[t]:
-                continue
-            ins = programs[t][pc]
-            kind = ins[0]
-            next_pcs = pcs[:t] + (pc + 1,) + pcs[t + 1:]
-            if kind == "st":
-                mem2 = dict(mem)
-                mem2[ins[1]] = ins[2]
-                rec(next_pcs, mem2, regs)
-            elif kind == "ld":
-                regs2 = dict(regs)
-                regs2[ins[2]] = mem.get(ins[1], 0)
-                rec(next_pcs, mem, regs2)
-            elif kind == "rmw":
-                regs2 = dict(regs)
-                regs2[ins[2]] = mem.get(ins[1], 0)
-                mem2 = dict(mem)
-                mem2[ins[1]] = ins[3]
-                rec(next_pcs, mem2, regs2)
-            else:  # fence — no-op under SC
-                rec(next_pcs, mem, regs)
-
-    rec((0,) * n, {}, {})
-    return outcomes
+    return set(_sc_outcomes(test.threads))
 
 
 def forbidden_sc_reachable(test: LitmusTest) -> bool:
@@ -77,7 +124,7 @@ def forbidden_sc_reachable(test: LitmusTest) -> bool:
     A well-formed litmus test returns False: its forbidden outcome is
     exactly the valuation SC rules out.
     """
-    for regs_items, mem_items in sc_outcomes(test):
+    for regs_items, mem_items in _sc_outcomes(test.threads):
         regs = dict(regs_items)
         final = dict(mem_items)
         if test.weak(regs, final):

@@ -73,7 +73,14 @@ from ..parallel import (
 from ..rng import derive_seed, make_rng
 from .ir import And, I_FENCE, I_LOAD, I_RMW, I_STORE, LocEq, Or, RegEq
 from .results import LitmusResult
-from .runner import _EXEC_P, _MAX_START_DELAY, _ROUNDS, LitmusInstance
+from .runner import (
+    _EXEC_P,
+    _MAX_START_DELAY,
+    _ROUNDS,
+    LitmusInstance,
+    OutcomeObservation,
+    written_locs,
+)
 from .tests import LitmusTest
 
 #: Executions per mega-batch.  Fixed (never derived from the job count)
@@ -425,8 +432,14 @@ def _race_pair(plan, tab, s1, s2, rng, n):
     s1["C"], s2["C"] = c1, c2
 
 
-def _round_weak(plan, tab, exec_p, flip, rng, n):
-    """One vectorized round; True per lane on the forbidden outcome."""
+def _round_weak(plan, tab, exec_p, flip, rng, n, collect=None):
+    """One vectorized round; True per lane on the forbidden outcome.
+
+    ``collect(regs, stacks)``, if given, observes the round's raw
+    results before condition evaluation: per-lane register arrays and
+    the per-location ``(keys, vals)`` write stacks.  It must not mutate
+    them (the soundness gate's outcome collector reads them to
+    reconstruct every lane's final state)."""
     delays = rng.integers(0, _MAX_START_DELAY, size=(plan.n_threads, n))
     writes: list = [[] for _ in range(plan.n_locs)]
     reads = []  # (reg, loc, key threshold, forward mask, forwarded value)
@@ -757,6 +770,8 @@ def _round_weak(plan, tab, exec_p, flip, rng, n):
         else:
             keys, vals = entry
             final[name] = vals[keys.argmax(axis=0)]
+    if collect is not None:
+        collect(regs, stacks)
     return _eval_cond(plan.cond, regs, final, n)
 
 
@@ -826,6 +841,93 @@ def _vector_span(
             weak_lanes |= _round_weak(plan, tab, exec_p, flip, rng, n)
         weak += int(np.count_nonzero(weak_lanes))
     return weak
+
+
+def observed_outcomes_vector(
+    profile: HardwareProfile,
+    test: LitmusTest,
+    distance: int,
+    stress_spec,
+    executions: int,
+    seed: int = 0,
+    randomise: bool = False,
+    lane_block: int = LANE_BLOCK,
+) -> OutcomeObservation:
+    """Run the vector backend and record every lane-round final state.
+
+    Mirrors :func:`_vector_span` (same ``"vector"`` seed label, same
+    lane tables and per-round draws) with a ``collect`` hook attached:
+    after each round the per-lane registers and the final value of
+    every program-written location (the write with the greatest commit
+    key, initial 0 if never written) are stacked into a matrix and
+    deduplicated with ``np.unique``.  Lanes always complete — there is
+    no tick budget here — so ``incomplete`` is always 0.
+    """
+    instance = LitmusInstance.layout(profile, test, distance)
+    plan = _vector_plan(profile, instance)
+    span_seed = derive_seed(
+        seed, profile.short_name, test.name, distance, "vector"
+    )
+    loc_index = {name: i for i, name in enumerate(test.locations)}
+    written = tuple(
+        (name, loc_index[name]) for name in written_locs(test)
+    )
+    reg_names = tuple(sorted(test.registers))
+    written_sorted = tuple(sorted(written))
+    outcomes: dict = {}
+    weak = 0
+    n_batches = -(-executions // lane_block)
+    for b in range(n_batches):
+        lo = b * lane_block
+        n = min(executions, lo + lane_block) - lo
+        if n <= 0:
+            continue
+        rng = make_rng(span_seed, b)
+        tab = _lane_tables(profile, instance, plan, stress_spec, rng, n)
+        if randomise:
+            flip = rng.random(n) < 0.5
+            exec_p = rng.uniform(0.35, 0.95, size=(plan.n_threads, n))
+        else:
+            flip = None
+            exec_p = [_EXEC_P] * plan.n_threads
+
+        rows: list = []
+
+        def collect(regs, stacks):
+            columns = [
+                np.broadcast_to(np.asarray(regs[r]), (n,))
+                for r in reg_names
+            ]
+            for _, loc in written_sorted:
+                entry = stacks.get(loc)
+                if entry is None:
+                    columns.append(np.zeros(n, dtype=np.int64))
+                else:
+                    keys, vals = entry
+                    columns.append(vals[keys.argmax(axis=0)])
+            rows.append(np.stack(columns, axis=1)
+                        if columns else np.zeros((n, 0), dtype=np.int64))
+
+        weak_lanes = np.zeros(n, dtype=bool)
+        for _ in range(_ROUNDS):
+            weak_lanes |= _round_weak(
+                plan, tab, exec_p, flip, rng, n, collect=collect
+            )
+        weak += int(np.count_nonzero(weak_lanes))
+        states, counts = np.unique(
+            np.concatenate(rows, axis=0), axis=0, return_counts=True
+        )
+        n_regs = len(reg_names)
+        for row, count in zip(states, counts):
+            key = (
+                tuple(zip(reg_names, (int(v) for v in row[:n_regs]))),
+                tuple(
+                    (name, int(v))
+                    for (name, _), v in zip(written_sorted, row[n_regs:])
+                ),
+            )
+            outcomes[key] = outcomes.get(key, 0) + int(count)
+    return OutcomeObservation(outcomes, weak, incomplete=0)
 
 
 def _vector_shard(args: tuple) -> LitmusShard:

@@ -25,7 +25,6 @@ from ..chips.registry import all_chips, get_chip, table1_rows
 from ..costs.report import figure5_points, overhead_summary
 from ..hardening.insertion import empirical_fence_insertion
 from ..litmus import BACKENDS
-from ..litmus.runner import run_litmus
 from ..litmus.tests import ALL_TESTS, TUNING_TESTS, get_test
 from ..litmus.units import litmus_unit
 from ..stress.strategies import NoStress, TunedStress

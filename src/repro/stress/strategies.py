@@ -21,7 +21,7 @@ Stressing thread counts follow the paper's two regimes:
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 

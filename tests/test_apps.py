@@ -5,7 +5,7 @@ import pytest
 from repro.apps import all_applications, get_application, table4_rows
 from repro.apps.base import run_application
 from repro.apps.registry import FENCE_FREE_APPS, fence_free_applications
-from repro.chips import SC_REFERENCE, get_chip
+from repro.chips import SC_REFERENCE
 from repro.errors import UnknownApplicationError
 from repro.hardening.fence_sets import all_fences
 from repro.stress.strategies import TunedStress

@@ -1,0 +1,138 @@
+"""Simulator-soundness gate: backends vs the axiomatic model.
+
+The gate runs all sixteen registry tests on all three execution
+backends at fixed seeds, collects every observed final state, and
+asserts none is axiomatically forbidden — this is the suite CI's
+"soundness-gate" step runs.  The collectors themselves are also pinned
+against their run_* counterparts: at the same seed they must report
+the same weak counts, since each execution draws from its own seed
+stream (running the rounds an early-exit would skip cannot leak into
+later executions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.axiom.model import classify
+from repro.chips import SC_REFERENCE
+from repro.litmus.compile import observed_outcomes_engine, run_litmus_compiled
+from repro.litmus.runner import observed_outcomes, run_litmus
+from repro.litmus.tests import ALL_TESTS, get_test
+from repro.litmus.vector import observed_outcomes_vector, run_litmus_vector
+from repro.stress.strategies import TunedStress
+from repro.testing.soundness import DEFAULT_EXECUTIONS, soundness_gate
+from repro.tuning.pipeline import shipped_params
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def gate_report():
+    return soundness_gate(seed=SEED)
+
+
+def test_gate_passes(gate_report):
+    assert gate_report.ok, "\n".join(gate_report.violations)
+
+
+def test_gate_covers_every_test_and_backend(gate_report):
+    cells = {(c.test, c.backend) for c in gate_report.checks}
+    names = {t.name for t in ALL_TESTS}
+    assert cells == {
+        (name, backend)
+        for name in names
+        for backend in ("direct", "engine", "vector")
+    }
+
+
+def test_gate_is_not_vacuous(gate_report):
+    """The gate only means something if the backends actually ran and
+    produced states: every cell observed at least one complete round,
+    and the weak tests fired somewhere at these budgets."""
+    for check in gate_report.checks:
+        assert check.rounds > 0, (check.test, check.backend)
+        assert check.distinct > 0, (check.test, check.backend)
+        assert check.incomplete == 0, (check.test, check.backend)
+    assert any(c.weak for c in gate_report.checks)
+
+
+def test_gate_checks_condition_verdicts(gate_report):
+    assert len(gate_report.condition_verdicts) == len(ALL_TESTS)
+    for name, verdict, expected, sc_agrees in gate_report.condition_verdicts:
+        assert verdict == expected, name
+        assert sc_agrees, name
+
+
+def test_sc_reference_only_produces_sc_states(gate_report):
+    assert len(gate_report.sc_reference) == len(ALL_TESTS)
+    for name, non_sc in gate_report.sc_reference:
+        assert not non_sc, (name, non_sc)
+
+
+@pytest.mark.parametrize("name", ["MP", "IRIW", "CoWW"])
+def test_direct_collector_matches_run_litmus(k20, name):
+    test = get_test(name)
+    spec = TunedStress(shipped_params("K20"))
+    d = 2 * k20.patch_size
+    n = DEFAULT_EXECUTIONS["direct"]
+    obs = observed_outcomes(k20, test, d, spec, n, seed=SEED)
+    ref = run_litmus(k20, test, d, spec, n, seed=SEED)
+    assert obs.weak == ref.weak
+    assert obs.incomplete == 0
+    assert sum(obs.outcomes.values()) == n * 8  # every round recorded
+
+
+@pytest.mark.parametrize("name", ["MP", "SB"])
+def test_engine_collector_matches_run_litmus_compiled(k20, name):
+    test = get_test(name)
+    spec = TunedStress(shipped_params("K20"))
+    d = 2 * k20.patch_size
+    n = DEFAULT_EXECUTIONS["engine"]
+    obs = observed_outcomes_engine(k20, test, d, spec, n, seed=SEED)
+    ref = run_litmus_compiled(k20, test, d, spec, n, seed=SEED)
+    assert obs.weak == ref.weak
+    assert sum(obs.outcomes.values()) == n * 8
+
+
+@pytest.mark.parametrize("name", ["MP", "2+2W"])
+def test_vector_collector_matches_run_litmus_vector(k20, name):
+    test = get_test(name)
+    spec = TunedStress(shipped_params("K20"))
+    d = 2 * k20.patch_size
+    n = DEFAULT_EXECUTIONS["vector"]
+    obs = observed_outcomes_vector(k20, test, d, spec, n, seed=SEED)
+    ref = run_litmus_vector(k20, test, d, spec, n, seed=SEED)
+    assert obs.weak == ref.weak
+    assert sum(obs.outcomes.values()) == n * 8
+
+
+def test_collectors_observe_weak_states_the_model_allows(k20):
+    """On MP the direct backend's weak rounds land exactly on the
+    model's weak-only state (r1=1, r2=0) — soundness with bite."""
+    test = get_test("MP")
+    spec = TunedStress(shipped_params("K20"))
+    obs = observed_outcomes(
+        k20, test, 2 * k20.patch_size, spec, 60, seed=SEED
+    )
+    report = classify(test)
+    weak_states = {
+        s for s in obs.outcomes
+        if report.verdict_of(dict(s[0]), dict(s[1])) == "weak"
+    }
+    assert weak_states == {((("r1", 1), ("r2", 0)), (("x", 1), ("y", 1)))}
+
+
+def test_sc_reference_is_actually_restrictive(sc_ref):
+    """The SC-only assertion is meaningful: the same budget on K20
+    observes non-SC states, the reference chip none."""
+    test = get_test("MP")
+    spec = TunedStress(shipped_params(SC_REFERENCE.short_name))
+    obs = observed_outcomes(
+        sc_ref, test, 2 * sc_ref.patch_size, spec, 40, seed=SEED
+    )
+    report = classify(test)
+    assert all(
+        report.verdict_of(dict(s[0]), dict(s[1])) == "sc"
+        for s in obs.outcomes
+    )

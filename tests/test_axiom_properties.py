@@ -1,0 +1,200 @@
+"""Property-based tests for the axiomatic model and canonicalisation.
+
+Two laws anchor the new static analysis:
+
+* **SC agreement** — on arbitrary bounded well-formed programs, the
+  axiomatic model with a full fence set reaches exactly the states the
+  brute-force SC interleaver reaches (Shasha–Snir in both directions:
+  every acyclic(po ∪ com) candidate linearises to an interleaving, and
+  every interleaving induces an acyclic candidate);
+* **canonicalisation** — idempotent, and invariant under thread
+  permutation and location renaming (the symmetries synthesis
+  deduplicates by).
+
+Programs here are smaller than :mod:`test_ir_properties`'s (five memory
+operations total): the symbolic enumeration is exponential and the
+candidate-budget guard would otherwise trip.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.axiom.canon import canonical_key, canonicalize
+from repro.axiom.model import axiom_outcomes
+from repro.litmus.ir import (
+    And,
+    LocEq,
+    Or,
+    RegEq,
+    fence,
+    ld,
+    rmw,
+    st as st_ins,
+)
+from repro.litmus.sc import sc_outcomes
+from repro.litmus.tests import LitmusTest
+
+_LOCS = ("x", "y", "z")
+_VALUES = st.integers(1, 2)
+
+
+@st.composite
+def bounded_programs(draw):
+    """1–3 threads, ≤ 5 memory operations in total (+ optional fences),
+    globally unique registers.  Returns (threads, regs, locs)."""
+    n_threads = draw(st.integers(1, 3))
+    budget = 5
+    threads = []
+    written = []
+    touched = set()
+    counter = 0
+    for t in range(n_threads):
+        cap = max(1, min(3, budget - (n_threads - t - 1)))
+        n_ins = draw(st.integers(1, cap))
+        budget -= n_ins
+        program = []
+        for _ in range(n_ins):
+            kind = draw(st.sampled_from(("st", "ld", "rmw")))
+            loc = draw(st.sampled_from(_LOCS))
+            touched.add(loc)
+            if kind == "st":
+                program.append(st_ins(loc, draw(_VALUES)))
+            else:
+                counter += 1
+                reg = f"r{counter}"
+                written.append(reg)
+                if kind == "ld":
+                    program.append(ld(loc, reg))
+                else:
+                    program.append(rmw(loc, reg, draw(_VALUES)))
+            if draw(st.booleans()):
+                program.append(fence())
+        threads.append(tuple(program))
+    return tuple(threads), tuple(written), tuple(sorted(touched))
+
+
+@st.composite
+def bounded_conditions(draw, regs, locs):
+    leaves = []
+    if regs:
+        leaves.append(st.builds(RegEq, st.sampled_from(regs), _VALUES))
+    if locs:
+        leaves.append(st.builds(LocEq, st.sampled_from(locs), _VALUES))
+    leaf = st.one_of(*leaves)
+    return draw(st.recursive(
+        leaf,
+        lambda children: st.one_of(
+            st.builds(
+                lambda terms: And(*terms),
+                st.lists(children, min_size=1, max_size=3),
+            ),
+            st.builds(
+                lambda terms: Or(*terms),
+                st.lists(children, min_size=1, max_size=3),
+            ),
+        ),
+        max_leaves=6,
+    ))
+
+
+@st.composite
+def bounded_tests(draw):
+    threads, regs, locs = draw(bounded_programs())
+    forbidden = draw(bounded_conditions(regs=regs, locs=locs))
+    return LitmusTest(
+        name="prop",
+        description="",
+        threads=threads,
+        forbidden=forbidden,
+    )
+
+
+def _declared(test):
+    return (test.threads, test.forbidden)
+
+
+class TestModelAgreesWithSC:
+    @settings(max_examples=250, deadline=None)
+    @given(data=st.data())
+    def test_full_fence_model_equals_sc_enumerator(self, data):
+        test = data.draw(bounded_tests())
+        assert axiom_outcomes(test, "full") == frozenset(sc_outcomes(test))
+
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.data())
+    def test_fence_modes_monotone(self, data):
+        test = data.draw(bounded_tests())
+        assert axiom_outcomes(test, "full") \
+            <= axiom_outcomes(test, "program") \
+            <= axiom_outcomes(test, "none")
+
+
+class TestCanonicalisation:
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_idempotent(self, data):
+        test = data.draw(bounded_tests())
+        once = canonicalize(test)
+        twice = canonicalize(once)
+        assert _declared(once) == _declared(twice)
+        assert canonical_key(test) == canonical_key(once)
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_invariant_under_thread_permutation(self, data):
+        test = data.draw(bounded_tests())
+        order = data.draw(st.permutations(range(len(test.threads))))
+        permuted = LitmusTest(
+            name=test.name,
+            description=test.description,
+            threads=tuple(test.threads[i] for i in order),
+            forbidden=test.forbidden,
+        )
+        assert canonical_key(permuted) == canonical_key(test)
+        assert _declared(canonicalize(permuted)) == \
+            _declared(canonicalize(test))
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_invariant_under_location_renaming(self, data):
+        test = data.draw(bounded_tests())
+        fresh = ("p", "q", "s")
+        mapping = dict(zip(
+            _LOCS, data.draw(st.permutations(fresh))
+        ))
+
+        def rename_ins(ins):
+            if ins[0] == "fence":
+                return ins
+            return (ins[0], mapping[ins[1]]) + ins[2:]
+
+        def rename_cond(cond):
+            if isinstance(cond, RegEq):
+                return cond
+            if isinstance(cond, LocEq):
+                return LocEq(mapping[cond.loc], cond.value)
+            terms = tuple(rename_cond(t) for t in cond.terms)
+            return And(*terms) if isinstance(cond, And) else Or(*terms)
+
+        renamed = LitmusTest(
+            name=test.name,
+            description=test.description,
+            threads=tuple(
+                tuple(rename_ins(ins) for ins in program)
+                for program in test.threads
+            ),
+            forbidden=rename_cond(test.forbidden),
+        )
+        assert canonical_key(renamed) == canonical_key(test)
+        assert _declared(canonicalize(renamed)) == \
+            _declared(canonicalize(test))
+
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.data())
+    def test_canonical_form_is_well_formed_and_equireachable(self, data):
+        """Canonicalisation relabels, it does not change semantics: the
+        canonical test's SC outcome count matches the original's."""
+        test = data.draw(bounded_tests())
+        canon = canonicalize(test)
+        assert len(sc_outcomes(canon)) == len(sc_outcomes(test))

@@ -5,7 +5,6 @@ import dataclasses
 import pytest
 
 from repro.apps import get_application
-from repro.chips import get_chip
 from repro.scale import SMOKE
 from repro.stress.environment import standard_environments
 from repro.testing import (

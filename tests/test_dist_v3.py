@@ -28,7 +28,6 @@ from hypothesis import strategies as st
 
 from repro.dist import (
     COMPRESS_FLAG,
-    COMPRESS_MIN,
     Coordinator,
     FrameDecoder,
     LeaseTable,

@@ -5,7 +5,6 @@ import dataclasses
 import pytest
 
 from repro.apps import get_application
-from repro.chips import get_chip
 from repro.errors import FenceInsertionError
 from repro.hardening import (
     all_fences,

@@ -13,7 +13,6 @@ Two metamorphic relations over the litmus registry:
 
 import pytest
 
-from repro.chips import get_chip
 from repro.litmus import (
     get_test,
     run_litmus,

@@ -14,7 +14,6 @@ import os
 import pytest
 
 from repro.apps import get_application
-from repro.chips import get_chip
 from repro.errors import ReproError
 from repro.hardening.fence_sets import all_fences
 from repro.hardening.insertion import EmpiricalFenceInserter

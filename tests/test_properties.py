@@ -1,7 +1,6 @@
 """Cross-module property-based tests on core invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.chips import SC_REFERENCE, all_chips, get_chip

@@ -1,0 +1,82 @@
+"""Import-time validity of every registered litmus test.
+
+``LitmusTest.__post_init__`` runs :func:`repro.litmus.ir.validate_test`,
+so an invalid registry entry cannot even be constructed — but these
+checks re-assert the contract explicitly (and catch a future refactor
+that removes the constructor hook): every program is well formed, and
+every register/location the forbidden condition mentions actually
+exists in the program, so no forbidden-outcome clause can be silently
+dead (always evaluating against a defaulted 0).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.litmus.ir import (
+    condition_locations,
+    condition_registers,
+    validate_program,
+    validate_test,
+)
+from repro.litmus.ir import st
+from repro.litmus.tests import ALL_TESTS, LitmusTest
+
+
+@pytest.mark.parametrize("test", ALL_TESTS, ids=lambda t: t.name)
+def test_registry_entry_validates(test):
+    validate_test(test)
+    for program in test.threads:
+        validate_program(program)
+
+
+@pytest.mark.parametrize("test", ALL_TESTS, ids=lambda t: t.name)
+def test_condition_registers_are_written(test):
+    written = {
+        ins[2]
+        for program in test.threads
+        for ins in program
+        if ins[0] in ("ld", "rmw")
+    }
+    mentioned = condition_registers(test.forbidden)
+    assert mentioned <= written, (
+        f"{test.name}: condition mentions unwritten registers "
+        f"{sorted(mentioned - written)}"
+    )
+
+
+@pytest.mark.parametrize("test", ALL_TESTS, ids=lambda t: t.name)
+def test_condition_locations_are_touched(test):
+    touched = {
+        ins[1]
+        for program in test.threads
+        for ins in program
+        if ins[0] != "fence"
+    }
+    mentioned = condition_locations(test.forbidden)
+    assert mentioned <= touched, (
+        f"{test.name}: condition mentions untouched locations "
+        f"{sorted(mentioned - touched)}"
+    )
+
+
+@pytest.mark.parametrize("test", ALL_TESTS, ids=lambda t: t.name)
+def test_registers_globally_unique(test):
+    seen = []
+    for program in test.threads:
+        for ins in program:
+            if ins[0] in ("ld", "rmw"):
+                seen.append(ins[2])
+    assert len(seen) == len(set(seen)), test.name
+
+
+def test_dead_condition_rejected_at_construction():
+    from repro.litmus.ir import RegEq
+
+    with pytest.raises(ValueError, match="unwritten registers"):
+        LitmusTest(
+            name="dead",
+            description="condition register never written",
+            threads=((st("x", 1),),),
+            forbidden=RegEq("r9", 1),
+        )

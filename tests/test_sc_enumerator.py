@@ -1,0 +1,111 @@
+"""Regression pins for the SC enumerator rewrite.
+
+The enumerator was rewritten from recursive dict-copying to an
+iterative indexed-tuple walk with whole-result memoisation (so
+synthesis-scale filtering doesn't blow up).  These pins were captured
+from the original implementation on the full registry: outcome counts
+for every test and exact outcome sets for a representative spread of
+shapes (2-thread, 3/4-thread, coherence, rmw, multi-value).  Any drift
+here means the rewrite changed SC semantics, not just speed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.litmus.sc import _sc_outcomes, forbidden_sc_reachable, sc_outcomes
+from repro.litmus.tests import ALL_TESTS, get_test
+
+# Captured from the pre-rewrite enumerator.
+GOLDEN_COUNTS = {
+    "MP": 3, "LB": 3, "SB": 3, "MP-F0": 3, "MP-F1": 3,
+    "MP-FF": 3, "LB-FF": 3, "SB-FF": 3, "CoRR": 3, "CoWW": 1,
+    "R": 3, "S": 3, "2+2W": 3, "WRC": 7, "IRIW": 15, "3.LB": 7,
+}
+
+_XY11 = (("x", 1), ("y", 1))
+
+GOLDEN_SETS = {
+    "MP": {
+        ((("r1", 0), ("r2", 0)), _XY11),
+        ((("r1", 0), ("r2", 1)), _XY11),
+        ((("r1", 1), ("r2", 1)), _XY11),
+    },
+    "SB": {
+        ((("r1", 0), ("r2", 1)), _XY11),
+        ((("r1", 1), ("r2", 0)), _XY11),
+        ((("r1", 1), ("r2", 1)), _XY11),
+    },
+    "LB": {
+        ((("r1", 0), ("r2", 0)), _XY11),
+        ((("r1", 0), ("r2", 1)), _XY11),
+        ((("r1", 1), ("r2", 0)), _XY11),
+    },
+    "CoRR": {
+        ((("r1", 0), ("r2", 0)), (("x", 1),)),
+        ((("r1", 0), ("r2", 1)), (("x", 1),)),
+        ((("r1", 1), ("r2", 1)), (("x", 1),)),
+    },
+    "CoWW": {((), (("x", 2),))},
+    "2+2W": {
+        ((), (("x", 1), ("y", 2))),
+        ((), (("x", 2), ("y", 1))),
+        ((), (("x", 2), ("y", 2))),
+    },
+    "R": {
+        ((("r1", 0),), _XY11),
+        ((("r1", 1),), _XY11),
+        ((("r1", 1),), (("x", 1), ("y", 2))),
+    },
+    "S": {
+        ((("r1", 0),), _XY11),
+        ((("r1", 0),), (("x", 2), ("y", 1))),
+        ((("r1", 1),), _XY11),
+    },
+    # All register combinations except the forbidden (1, 1, 0).
+    "WRC": {
+        ((("r1", a), ("r2", b), ("r3", c)), _XY11)
+        for a in (0, 1) for b in (0, 1) for c in (0, 1)
+        if (a, b, c) != (1, 1, 0)
+    },
+    # All register combinations except the forbidden all-ones.
+    "3.LB": {
+        ((("r1", a), ("r2", b), ("r3", c)),
+         (("x", 1), ("y", 1), ("z", 1)))
+        for a in (0, 1) for b in (0, 1) for c in (0, 1)
+        if (a, b, c) != (1, 1, 1)
+    },
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_COUNTS))
+def test_outcome_counts_pinned(name):
+    assert len(sc_outcomes(get_test(name))) == GOLDEN_COUNTS[name]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SETS))
+def test_outcome_sets_pinned(name):
+    assert sc_outcomes(get_test(name)) == GOLDEN_SETS[name]
+
+
+def test_forbidden_never_sc_reachable():
+    for test in ALL_TESTS:
+        assert not forbidden_sc_reachable(test), test.name
+
+
+def test_memoised_across_calls():
+    test = get_test("IRIW")
+    _sc_outcomes.cache_clear()
+    sc_outcomes(test)
+    first = _sc_outcomes.cache_info()
+    sc_outcomes(test)
+    second = _sc_outcomes.cache_info()
+    assert second.hits == first.hits + 1
+    assert second.misses == first.misses
+
+
+def test_returns_fresh_set():
+    test = get_test("MP")
+    out = sc_outcomes(test)
+    out.clear()
+    assert sc_outcomes(test) == GOLDEN_SETS["MP"]

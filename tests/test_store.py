@@ -13,7 +13,6 @@ import json
 import pytest
 
 from repro.apps import get_application
-from repro.chips import get_chip
 from repro.costs.measure import CostMeasurement, FencingStrategy
 from repro.errors import (
     LedgerConflictError,

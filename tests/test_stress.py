@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.chips import get_chip
 from repro.errors import InvalidSequenceError, InvalidStressConfigError
 from repro.stress import (
     CacheStress,

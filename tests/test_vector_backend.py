@@ -20,8 +20,6 @@ three statistical pillars plus the usual mechanical contracts:
   too-many-threads validation as the scalar runners.
 """
 
-import math
-
 import pytest
 
 from repro.chips import SC_REFERENCE, get_chip
